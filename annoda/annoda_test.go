@@ -1,0 +1,40 @@
+package annoda
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	c := GenerateCorpus(CorpusConfig{Seed: 42, Genes: 40, GoTerms: 30, Diseases: 20, ConflictRate: 0.2, MissingRate: 0.1})
+	sys, err := NewSystem(c, Options{Policy: PolicyPreferPrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, stats, err := sys.Ask(Figure5bQuestion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Rows) != len(c.GenesWithGoButNotOMIM()) {
+		t.Errorf("view rows %d != ground truth %d", len(view.Rows), len(c.GenesWithGoButNotOMIM()))
+	}
+	if len(stats.SourcesQueried) == 0 {
+		t.Error("no sources queried")
+	}
+	res, _, err := sys.Query(`select G from ANNODA-GML.Gene G where exists G.Annotation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() == 0 {
+		t.Error("direct Lorel query empty")
+	}
+}
+
+func TestDefaultCorpusDeterministic(t *testing.T) {
+	a, b := DefaultCorpus(), DefaultCorpus()
+	if len(a.Genes) != len(b.Genes) || a.Genes[0].Symbol != b.Genes[0].Symbol {
+		t.Error("DefaultCorpus not deterministic")
+	}
+	if len(a.Genes) != 1000 {
+		t.Errorf("default corpus has %d genes", len(a.Genes))
+	}
+}

@@ -1,0 +1,367 @@
+// Benchmarks, one (or more) per paper artifact, mirroring the experiments
+// that cmd/annoda-bench prints. The package doubles as the integration test
+// surface at module root. See EXPERIMENTS.md for the mapping to the paper's
+// tables and figures.
+package main_test
+
+import (
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fedsql"
+	"repro/internal/gml"
+	"repro/internal/lorel"
+	"repro/internal/match"
+	"repro/internal/mediator"
+	"repro/internal/navigate"
+	"repro/internal/oem"
+	"repro/internal/sources/locuslink"
+	"repro/internal/warehouse"
+	"repro/internal/wrapper"
+)
+
+func benchCorpus(genes int) *datagen.Corpus {
+	cfg := datagen.DefaultConfig()
+	cfg.Genes = genes
+	return datagen.Generate(cfg)
+}
+
+func benchSystem(b *testing.B, genes int) *core.System {
+	b.Helper()
+	sys, err := core.New(benchCorpus(genes), mediator.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// --- E1: Figure 2/3 — OML export of LocusLink -----------------------------
+
+func BenchmarkE1_OMLExport(b *testing.B) {
+	sys := benchSystem(b, 500)
+	w := sys.Registry.Get("LocusLink")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Refresh()
+		if _, err := w.Model(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_Figure3Text(b *testing.B) {
+	sys := benchSystem(b, 100)
+	w := sys.Registry.Get("LocusLink")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wrapper.FragmentText(w, i%100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: Figure 4 — GML construction ---------------------------------------
+
+func BenchmarkE2_GMLBuild(b *testing.B) {
+	sys := benchSystem(b, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gml.Build(sys.Registry, match.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2_GMLMaterialize(b *testing.B) {
+	sys := benchSystem(b, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Global.Materialize(sys.Registry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: §4.1 — the paper's Lorel query ------------------------------------
+
+func BenchmarkE3_LorelSelect(b *testing.B) {
+	sys := benchSystem(b, 300)
+	g, err := sys.Global.Materialize(sys.Registry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := runLorel(g, `select X from ANNODA-GML.Source X where X.Name = "LocusLink"`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res != 1 {
+			b.Fatalf("%d answers", res)
+		}
+	}
+}
+
+// --- E4: Figure 5(a) — question compilation --------------------------------
+
+func BenchmarkE4_QuestionCompile(b *testing.B) {
+	sys := benchSystem(b, 100)
+	q := core.Figure5bQuestion()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ToLorel(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: Figure 5(b) — the integrated view, at three scales ----------------
+
+func benchmarkE5(b *testing.B, genes int) {
+	sys := benchSystem(b, genes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := sys.Ask(core.Figure5bQuestion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.Rows) == 0 {
+			b.Fatal("empty view")
+		}
+	}
+}
+
+func BenchmarkE5_IntegratedView100(b *testing.B)  { benchmarkE5(b, 100) }
+func BenchmarkE5_IntegratedView1000(b *testing.B) { benchmarkE5(b, 1000) }
+func BenchmarkE5_IntegratedView5000(b *testing.B) { benchmarkE5(b, 5000) }
+
+// --- E6: Figure 5(c) — object view and link chase ---------------------------
+
+func BenchmarkE6_ObjectView(b *testing.B) {
+	sys := benchSystem(b, 300)
+	urls := make([]string, 0, 300)
+	for i := range sys.Corpus.Genes {
+		urls = append(urls, locuslink.SelfURL(sys.Corpus.Genes[i].LocusID))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ObjectView(urls[i%len(urls)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_LinkChase(b *testing.B) {
+	sys := benchSystem(b, 300)
+	var start string
+	for i := range sys.Corpus.Genes {
+		if len(sys.Corpus.Genes[i].GoTerms) > 0 {
+			start = locuslink.SelfURL(sys.Corpus.Genes[i].LocusID)
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := navigate.NewSession(sys.Resolver)
+		if _, err := s.Open(start); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.FollowAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: Table 1 — per-system latency on the same question -----------------
+
+func BenchmarkE7_ANNODA(b *testing.B) {
+	sys := benchSystem(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Ask(core.Figure5bQuestion()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_GUSWarehouse(b *testing.B) {
+	sys := benchSystem(b, 300)
+	gus := warehouse.New(sys.Registry, sys.Global)
+	if err := gus.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gus.Figure5b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_DiscoveryLink(b *testing.B) {
+	sys := benchSystem(b, 300)
+	dl := fedsql.New(sys.Registry)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dl.Figure5b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_Hypertext(b *testing.B) {
+	sys := benchSystem(b, 300)
+	h := &navigate.Hypertext{LL: sys.LocusLink, GO: sys.GO, OM: sys.OMIM}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if syms, _ := h.AnswerFigure5b(); len(syms) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkE7_TableGeneration(b *testing.B) {
+	c := benchCorpus(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(c, mediator.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gus := warehouse.New(sys.Registry, sys.Global)
+		if err := gus.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+		rows, err := capability.BuildTable(&capability.Fixture{
+			ANNODA: sys, Kleisli: &capability.WrappedMultidb{System: sys},
+			DL: fedsql.New(sys.Registry), GUS: gus,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 15 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// --- E8: optimizer ablation --------------------------------------------------
+
+func benchmarkE8(b *testing.B, opts mediator.Options) {
+	sys := benchSystem(b, 1000)
+	m := mediator.New(sys.Registry, sys.Global, opts)
+	query := `select G from ANNODA-GML.Gene G where G.Symbol like "A%" and exists G.Annotation and not exists G.Disease`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.QueryString(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_AllOptimizations(b *testing.B) { benchmarkE8(b, mediator.Options{}) }
+func BenchmarkE8_NoPushdown(b *testing.B)       { benchmarkE8(b, mediator.Options{DisablePushdown: true}) }
+func BenchmarkE8_NoPruning(b *testing.B)        { benchmarkE8(b, mediator.Options{DisablePruning: true}) }
+func BenchmarkE8_Sequential(b *testing.B)       { benchmarkE8(b, mediator.Options{Sequential: true}) }
+func BenchmarkE8_NoOptimizations(b *testing.B) {
+	benchmarkE8(b, mediator.Options{DisablePushdown: true, DisablePruning: true, Sequential: true})
+}
+
+// --- E9: matching algorithms ---------------------------------------------------
+
+func benchmarkE9(b *testing.B, fn func(a, bb wrapper.Schema, o match.Options) match.Result) {
+	sys := benchSystem(b, 200)
+	schemas, err := sys.Registry.Schemas()
+	if err != nil {
+		b.Fatal(err)
+	}
+	concepts := gml.DomainConcepts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range schemas {
+			for _, c := range concepts {
+				fn(s, c.Schema(), match.Options{})
+			}
+		}
+	}
+}
+
+func BenchmarkE9_Hungarian(b *testing.B) { benchmarkE9(b, match.Match) }
+func BenchmarkE9_Greedy(b *testing.B)    { benchmarkE9(b, match.MatchGreedy) }
+func BenchmarkE9_Stable(b *testing.B)    { benchmarkE9(b, match.MatchStable) }
+
+// --- E10: architecture comparison covered by E7 benches; staleness here ------
+
+func BenchmarkE10_WarehouseRefresh(b *testing.B) {
+	sys := benchSystem(b, 500)
+	gus := warehouse.New(sys.Registry, sys.Global)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gus.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: plugging in a source -------------------------------------------------
+
+func BenchmarkE11_PlugSource(b *testing.B) {
+	c := benchCorpus(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(c, mediator.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.PlugInProteins(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: large-scale batch annotation -------------------------------------------
+
+func benchmarkE12(b *testing.B, workers int) {
+	sys := benchSystem(b, 1000)
+	var symbols []string
+	for i := range sys.Corpus.Genes {
+		symbols = append(symbols, sys.Corpus.Genes[i].Symbol)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sys.AnnotateBatch(symbols, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(symbols) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+func BenchmarkE12_Batch1Worker(b *testing.B)  { benchmarkE12(b, 1) }
+func BenchmarkE12_Batch8Workers(b *testing.B) { benchmarkE12(b, 8) }
+
+// runLorel evaluates a Lorel query on a graph and returns the answer size.
+func runLorel(g *oem.Graph, src string) (int, string, error) {
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return 0, "", err
+	}
+	res, err := lorel.Eval(g, q)
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Size(), oem.TextString(res.Graph, "answer", res.Answer), nil
+}

@@ -1,0 +1,403 @@
+// Command annoda-bench regenerates every table and figure of the ANNODA
+// paper (and the quantitative experiments attached to them) from the live
+// implementations in this repository. Run with no flags for everything, or
+// -exp E5 for one experiment. See EXPERIMENTS.md for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/capability"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fedsql"
+	"repro/internal/gml"
+	"repro/internal/lorel"
+	"repro/internal/match"
+	"repro/internal/mediator"
+	"repro/internal/navigate"
+	"repro/internal/oem"
+	"repro/internal/sources/locuslink"
+	"repro/internal/warehouse"
+	"repro/internal/wrapper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+	genes := flag.Int("genes", 1000, "corpus size (genes)")
+	seed := flag.Uint64("seed", 20050405, "corpus seed")
+	flag.Parse()
+
+	cfg := datagen.DefaultConfig()
+	cfg.Genes = *genes
+	cfg.Seed = *seed
+	c := datagen.Generate(cfg)
+	sys, err := core.New(c, mediator.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	runners := map[string]func(*datagen.Corpus, *core.System){
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
+		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
+	}
+	if *exp == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+			banner(id)
+			runners[id](c, sys)
+		}
+		return
+	}
+	run, ok := runners[strings.ToUpper(*exp)]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	banner(strings.ToUpper(*exp))
+	run(c, sys)
+}
+
+func banner(id string) {
+	fmt.Printf("\n================ %s ================\n", id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "annoda-bench:", err)
+	os.Exit(1)
+}
+
+// E1 — Figures 2/3: the ANNODA-OML model of one LocusLink record.
+func e1(c *datagen.Corpus, sys *core.System) {
+	w := sys.Registry.Get("LocusLink")
+	text, err := wrapper.FragmentText(w, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("ANNODA-OML representation of the structure and contents of LocusLink (Figure 3):")
+	fmt.Println(text)
+	// Round trip proves the notation is a real serialization.
+	if _, err := oem.DecodeText(strings.NewReader(text)); err != nil {
+		fatal(err)
+	}
+	fmt.Println("round-trip decode: ok")
+}
+
+// E2 — Figure 4: the ANNODA-GML global model.
+func e2(c *datagen.Corpus, sys *core.System) {
+	t0 := time.Now()
+	g, err := sys.Global.Materialize(sys.Registry)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("materialized GML: %d objects in %v\n", g.Len(), time.Since(t0).Round(time.Millisecond))
+	fmt.Println("\nmapping module output (MDSM + transformation calls):")
+	fmt.Print(sys.Global.Describe())
+}
+
+// E3 — §4.1: the paper's Lorel query and its answer object.
+func e3(c *datagen.Corpus, sys *core.System) {
+	g, err := sys.Global.Materialize(sys.Registry)
+	if err != nil {
+		fatal(err)
+	}
+	q := `select X from ANNODA-GML.Source X where X.Name = "LocusLink"`
+	fmt.Println("query:", q)
+	res, err := lorel.Eval(g, lorel.MustParse(q))
+	if err != nil {
+		fatal(err)
+	}
+	xs := res.Graph.Children(res.Answer, "X")
+	fmt.Printf("answer object %s with %d X edge(s); children of X:\n", res.Answer, len(xs))
+	for _, x := range xs {
+		for _, label := range []string{"SourceID", "Name", "Content", "Structure"} {
+			child := res.Graph.Child(x, label)
+			fmt.Printf("    %-10s %s %s\n", label, child, res.Graph.KindOf(child))
+		}
+	}
+}
+
+// E4 — Figure 5(a): question-to-Lorel compilation.
+func e4(c *datagen.Corpus, sys *core.System) {
+	qs := []core.Question{
+		core.Figure5bQuestion(),
+		{Include: []string{"GO", "OMIM"}, Combine: core.CombineAll},
+		{Include: []string{"GO"}, Conditions: []core.Condition{{Field: "Organism", Op: "=", Value: "Homo sapiens"}}},
+	}
+	for _, q := range qs {
+		l, err := sys.ToLorel(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("question %+v\n  -> %s\n", q, l)
+	}
+}
+
+// E5 — Figure 5(b): the integrated view for the paper's running example.
+func e5(c *datagen.Corpus, sys *core.System) {
+	t0 := time.Now()
+	v, stats, err := sys.Ask(core.Figure5bQuestion())
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+	out := v.Format()
+	lines := strings.Split(out, "\n")
+	head := lines
+	if len(lines) > 14 {
+		head = append(lines[:12], fmt.Sprintf("  ... (%d more rows)", len(v.Rows)-10), lines[len(lines)-2])
+	}
+	fmt.Println(strings.Join(head, "\n"))
+	fmt.Printf("ground truth: %d genes; view: %d rows; agree=%v\n",
+		len(c.GenesWithGoButNotOMIM()), len(v.Rows), len(c.GenesWithGoButNotOMIM()) == len(v.Rows))
+	fmt.Printf("latency %v\n%s", elapsed.Round(time.Millisecond), stats.String())
+}
+
+// E6 — Figure 5(c): individual object view + link chase.
+func e6(c *datagen.Corpus, sys *core.System) {
+	var gene *datagen.Gene
+	for i := range c.Genes {
+		if len(c.Genes[i].GoTerms) > 0 && len(c.Genes[i].Diseases) > 0 {
+			gene = &c.Genes[i]
+			break
+		}
+	}
+	if gene == nil {
+		fmt.Println("no doubly-linked gene in corpus")
+		return
+	}
+	url := locuslink.SelfURL(gene.LocusID)
+	out, err := sys.ObjectView(url)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("individual object view for", url)
+	fmt.Println(out)
+	s := navigate.NewSession(sys.Resolver)
+	if _, err := s.Open(url); err != nil {
+		fatal(err)
+	}
+	targets, err := s.FollowAll()
+	if err != nil {
+		fatal(err)
+	}
+	bySource := map[string]int{}
+	for _, t := range targets {
+		bySource[t.Source]++
+	}
+	fmt.Printf("followed %d web-links (%d round trips): %v\n", len(targets), s.Trips, bySource)
+}
+
+// E7 — Table 1: the capability comparison, probed live.
+func e7(c *datagen.Corpus, sys *core.System) {
+	// A fresh system: E7's extensibility probe plugs ProtDB in.
+	probeSys, err := core.New(c, mediator.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	gus := warehouse.New(probeSys.Registry, probeSys.Global)
+	if err := gus.Refresh(); err != nil {
+		fatal(err)
+	}
+	rows, err := capability.BuildTable(&capability.Fixture{
+		ANNODA:  probeSys,
+		Kleisli: &capability.WrappedMultidb{System: probeSys},
+		DL:      fedsql.New(probeSys.Registry),
+		GUS:     gus,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(capability.Format(rows))
+}
+
+// E8 — optimizer ablation: pushdown / pruning / parallelism toggles.
+func e8(c *datagen.Corpus, sys *core.System) {
+	query := `select G from ANNODA-GML.Gene G where G.Symbol like "A%" and exists G.Annotation and not exists G.Disease`
+	configs := []struct {
+		name string
+		opts mediator.Options
+	}{
+		{"all optimizations", mediator.Options{}},
+		{"no pushdown", mediator.Options{DisablePushdown: true}},
+		{"no pruning", mediator.Options{DisablePruning: true}},
+		{"sequential", mediator.Options{Sequential: true}},
+		{"none", mediator.Options{DisablePushdown: true, DisablePruning: true, Sequential: true}},
+	}
+	fmt.Printf("query: %s\n\n", query)
+	fmt.Printf("%-20s %-10s %-12s %-12s %-10s %s\n", "config", "answers", "fetched", "kept", "sources", "latency")
+	for _, cf := range configs {
+		m := mediator.New(sys.Registry, sys.Global, cf.opts)
+		t0 := time.Now()
+		res, stats, err := m.QueryString(query)
+		if err != nil {
+			fatal(err)
+		}
+		el := time.Since(t0)
+		fetched, kept := 0, 0
+		for _, n := range stats.Fetched {
+			fetched += n
+		}
+		for _, n := range stats.Kept {
+			kept += n
+		}
+		fmt.Printf("%-20s %-10d %-12d %-12d %-10d %v\n",
+			cf.name, res.Size(), fetched, kept, len(stats.SourcesQueried), el.Round(time.Microsecond))
+	}
+}
+
+// E9 — MDSM matching: Hungarian vs greedy vs stable, accuracy and runtime.
+func e9(c *datagen.Corpus, sys *core.System) {
+	schemas, err := sys.Registry.Schemas()
+	if err != nil {
+		fatal(err)
+	}
+	concepts := gml.DomainConcepts()
+	truth := map[string]map[string]string{
+		"LocusLink": {"LocusID": "GeneID", "Symbol": "Symbol", "Organism": "Organism",
+			"Description": "Description", "Position": "Position", "Alias": "Alias",
+			"Links": "Links", "WebLink": "WebLink"},
+		"GO": {"GeneSymbol": "Symbol", "Organism": "Organism", "GoID": "GoID",
+			"Evidence": "Evidence", "Term": "Term"},
+		"OMIM": {"MimNumber": "MimNumber", "Title": "Title", "GeneSymbol": "Symbol",
+			"Locus": "GeneID", "CytoPosition": "Position", "Inheritance": "Inheritance",
+			"WebLink": "WebLink"},
+	}
+	conceptFor := map[string]string{"LocusLink": "Gene", "GO": "Annotation", "OMIM": "Disease"}
+	fmt.Printf("%-10s %-10s %-7s %-7s %-7s %s\n", "source", "matcher", "prec", "recall", "F1", "time")
+	for _, s := range schemas {
+		var conceptSchema wrapper.Schema
+		for _, co := range concepts {
+			if co.Name == conceptFor[s.Source] {
+				conceptSchema = co.Schema()
+			}
+		}
+		for _, m := range []struct {
+			name string
+			fn   func(a, b wrapper.Schema, o match.Options) match.Result
+		}{
+			{"hungarian", match.Match},
+			{"greedy", match.MatchGreedy},
+			{"stable", match.MatchStable},
+		} {
+			t0 := time.Now()
+			var res match.Result
+			for i := 0; i < 200; i++ {
+				res = m.fn(s, conceptSchema, match.Options{})
+			}
+			el := time.Since(t0) / 200
+			p, r, f1 := match.Evaluate(res, truth[s.Source])
+			fmt.Printf("%-10s %-10s %-7.3f %-7.3f %-7.3f %v\n", s.Source, m.name, p, r, f1, el)
+		}
+	}
+}
+
+// E10 — the four architectures answer the same question.
+func e10(c *datagen.Corpus, sys *core.System) {
+	fmt.Println("question: genes annotated in GO but not associated with an OMIM disease")
+	want := len(c.GenesWithGoButNotOMIM())
+	fmt.Printf("ground truth: %d genes\n\n", want)
+	fmt.Printf("%-22s %-8s %-10s %-28s %s\n", "architecture", "answers", "latency", "freshness", "notes")
+
+	// ANNODA (federated, mediated).
+	t0 := time.Now()
+	v, _, err := sys.Ask(core.Figure5bQuestion())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "ANNODA (federated)", len(v.Rows),
+		time.Since(t0).Round(time.Millisecond), "always fresh", "one global query, reconciled")
+
+	// GUS-style warehouse.
+	gus := warehouse.New(sys.Registry, sys.Global)
+	tLoad := time.Now()
+	if err := gus.Refresh(); err != nil {
+		fatal(err)
+	}
+	loadTime := time.Since(tLoad)
+	t1 := time.Now()
+	syms, err := gus.Figure5b()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "GUS (warehouse)", len(syms),
+		time.Since(t1).Round(time.Millisecond),
+		fmt.Sprintf("stale until refresh (%v)", loadTime.Round(time.Millisecond)),
+		"fast local SQL after ETL")
+
+	// DiscoveryLink-style federation.
+	dl := fedsql.New(sys.Registry)
+	t2 := time.Now()
+	dlSyms, err := dl.Figure5b()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "DiscoveryLink (SQL)", len(dlSyms),
+		time.Since(t2).Round(time.Millisecond), "fresh per query", "user writes SQL + client anti-join")
+
+	// Hypertext navigation.
+	h := &navigate.Hypertext{LL: sys.LocusLink, GO: sys.GO, OM: sys.OMIM}
+	t3 := time.Now()
+	hSyms, trips := h.AnswerFigure5b()
+	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "Hypertext (Entrez)", len(hSyms),
+		time.Since(t3).Round(time.Millisecond), "fresh per page",
+		fmt.Sprintf("%d link round-trips, no reconciliation", trips))
+}
+
+// E11 — plugging a new source in at runtime.
+func e11(c *datagen.Corpus, sys *core.System) {
+	fresh, err := core.New(c, mediator.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	if err := fresh.PlugInProteins(); err != nil {
+		fatal(err)
+	}
+	plugTime := time.Since(t0)
+	m := fresh.Global.MappingFor("ProtDB")
+	fmt.Printf("plugged ProtDB in %v; mapped to concept %s with %d rules:\n",
+		plugTime.Round(time.Millisecond), m.Concept, len(m.Rules))
+	for _, r := range m.Rules {
+		fmt.Printf("  %-12s <- %-4s  %s (score %.3f)\n", r.Global, r.Local, r.Transform, r.Score)
+	}
+	v, _, err := fresh.Ask(core.Question{Include: []string{"ProtDB"}})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("genes with protein records: %d\n", len(v.Rows))
+}
+
+// E12 — large-scale batch annotation.
+func e12(c *datagen.Corpus, sys *core.System) {
+	var symbols []string
+	for i := range c.Genes {
+		symbols = append(symbols, c.Genes[i].Symbol)
+	}
+	// Repeat to reach a 10k-symbol batch regardless of corpus size.
+	for len(symbols) < 10000 {
+		symbols = append(symbols, symbols...)
+	}
+	symbols = symbols[:10000]
+	for _, workers := range []int{1, 4, 8} {
+		t0 := time.Now()
+		results, err := sys.AnnotateBatch(symbols, workers)
+		if err != nil {
+			fatal(err)
+		}
+		el := time.Since(t0)
+		okCount := 0
+		for _, r := range results {
+			if r.Err == nil {
+				okCount++
+			}
+		}
+		fmt.Printf("batch of %d symbols, %d workers: %v (%.0f genes/s), %d annotated\n",
+			len(symbols), workers, el.Round(time.Millisecond),
+			float64(len(symbols))/el.Seconds(), okCount)
+	}
+	sort.Strings(symbols) // keep deterministic footprint for repeated runs
+}

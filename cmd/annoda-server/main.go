@@ -1,0 +1,186 @@
+// Command annoda-server serves ANNODA's three Figure 5 views over HTTP:
+//
+//	/            the query interface (Figure 5(a))
+//	/ask         the annotation integrated view (Figure 5(b))
+//	/object?url= the individual object view (Figure 5(c))
+//
+// Start it and open http://localhost:8077/ — submitting the default form
+// reproduces the paper's running example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/mediator"
+)
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>ANNODA</title><style>
+body{font-family:sans-serif;margin:2em;background:#f4f6f8}
+table{border-collapse:collapse}td,th{border:1px solid #aab;padding:4px 8px;font-size:13px}
+th{background:#dde4ee}.box{background:#fff;border:1px solid #ccd;padding:1em;margin-bottom:1em}
+code{background:#eef}a{color:#225}</style></head><body>
+<h1>ANNODA &mdash; integrating molecular-biological annotation data</h1>
+{{.Body}}
+</body></html>`))
+
+type server struct {
+	sys *core.System
+}
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	genes := flag.Int("genes", 1000, "corpus size")
+	flag.Parse()
+	cfg := datagen.DefaultConfig()
+	cfg.Genes = *genes
+	sys, err := core.New(datagen.Generate(cfg), mediator.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.PlugInProteins(); err != nil {
+		log.Fatal(err)
+	}
+	s := &server{sys: sys}
+	http.HandleFunc("/", s.form)
+	http.HandleFunc("/ask", s.ask)
+	http.HandleFunc("/object", s.object)
+	log.Printf("annoda-server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+func (s *server) render(w http.ResponseWriter, body template.HTML) {
+	if err := pageTmpl.Execute(w, struct{ Body template.HTML }{body}); err != nil {
+		log.Print(err)
+	}
+}
+
+// form is the Figure 5(a) query interface: include/exclude targets,
+// combination method, search conditions.
+func (s *server) form(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	b.WriteString(`<div class="box"><h2>Query interface (Figure 5a)</h2>
+<form action="/ask" method="GET"><table>
+<tr><th>Source</th><th>Include</th><th>Exclude</th><th>Ignore</th></tr>`)
+	for _, src := range s.sys.Registry.Names() {
+		if src == "LocusLink" {
+			continue // the gene population itself
+		}
+		fmt.Fprintf(&b, `<tr><td>%s</td>
+<td><input type="radio" name="t_%s" value="include"%s></td>
+<td><input type="radio" name="t_%s" value="exclude"%s></td>
+<td><input type="radio" name="t_%s" value="ignore"%s></td></tr>`,
+			src, src, check(src == "GO"), src, check(src == "OMIM"), src, check(src != "GO" && src != "OMIM"))
+	}
+	b.WriteString(`</table>
+<p>Combine included targets:
+<select name="combine"><option value="all">all of them (AND)</option>
+<option value="any">any of them (OR)</option></select></p>
+<p>Condition: G.<input name="field" size="12" placeholder="Organism">
+<select name="op"><option>=</option><option>!=</option><option>like</option></select>
+<input name="value" size="20" placeholder="Homo sapiens"></p>
+<p><input type="submit" value="Run biological question"></p></form>
+<p>The defaults reproduce the paper&rsquo;s example: genes annotated with
+some GO function but not associated with an OMIM disease.</p></div>`)
+	s.render(w, template.HTML(b.String()))
+}
+
+func check(b bool) string {
+	if b {
+		return ` checked`
+	}
+	return ""
+}
+
+// ask renders the Figure 5(b) integrated view.
+func (s *server) ask(w http.ResponseWriter, r *http.Request) {
+	var q core.Question
+	for _, src := range s.sys.Registry.Names() {
+		switch r.FormValue("t_" + src) {
+		case "include":
+			q.Include = append(q.Include, src)
+		case "exclude":
+			q.Exclude = append(q.Exclude, src)
+		}
+	}
+	if r.FormValue("combine") == "any" {
+		q.Combine = core.CombineAny
+	}
+	if f := r.FormValue("field"); f != "" && r.FormValue("value") != "" {
+		q.Conditions = append(q.Conditions, core.Condition{
+			Field: f, Op: r.FormValue("op"), Value: r.FormValue("value"),
+		})
+	}
+	view, stats, err := s.sys.Ask(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<div class="box"><h2>Annotation integrated view (Figure 5b)</h2>
+<p>Lorel: <code>%s</code></p><table>
+<tr><th>Symbol</th><th>GeneID</th><th>Organism</th><th>Position</th><th>GO</th><th>OMIM</th><th>Proteins</th><th>Links</th></tr>`,
+		template.HTMLEscapeString(view.Question))
+	for _, row := range view.Rows {
+		var links []string
+		for _, u := range row.WebLinks {
+			links = append(links, fmt.Sprintf(`<a href="/object?url=%s">%s</a>`,
+				template.URLQueryEscaper(u), template.HTMLEscapeString(shortURL(u))))
+		}
+		var mims []string
+		for _, m := range row.MimIDs {
+			mims = append(mims, fmt.Sprintf("%d", m))
+		}
+		fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`,
+			template.HTMLEscapeString(row.Symbol), row.GeneID,
+			template.HTMLEscapeString(row.Organism), template.HTMLEscapeString(row.Position),
+			template.HTMLEscapeString(strings.Join(row.GoIDs, ", ")),
+			strings.Join(mims, ", "),
+			template.HTMLEscapeString(strings.Join(row.Proteins, ", ")),
+			strings.Join(links, " "))
+	}
+	fmt.Fprintf(&b, `</table><p>%d genes; %d conflicts reconciled.</p><pre>%s</pre>
+<p><a href="/">back to the query interface</a></p></div>`,
+		len(view.Rows), view.Conflicts, template.HTMLEscapeString(stats.String()))
+	s.render(w, template.HTML(b.String()))
+}
+
+func shortURL(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	if len(u) > 40 {
+		u = u[:37] + "..."
+	}
+	return u
+}
+
+// object renders the Figure 5(c) individual object view.
+func (s *server) object(w http.ResponseWriter, r *http.Request) {
+	url := r.FormValue("url")
+	out, err := s.sys.ObjectView(url)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<div class="box"><h2>Individual object view (Figure 5c)</h2>
+<p><code>%s</code></p><pre>`, template.HTMLEscapeString(url))
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "link ") {
+			u := strings.TrimSpace(strings.TrimPrefix(trimmed, "link"))
+			fmt.Fprintf(&b, `  link           <a href="/object?url=%s">%s</a>`+"\n",
+				template.URLQueryEscaper(u), template.HTMLEscapeString(u))
+			continue
+		}
+		b.WriteString(template.HTMLEscapeString(line) + "\n")
+	}
+	b.WriteString(`</pre><p><a href="/">back to the query interface</a></p></div>`)
+	s.render(w, template.HTML(b.String()))
+}

@@ -1,0 +1,192 @@
+// Command annoda is the command-line interface to the ANNODA system.
+//
+// Usage:
+//
+//	annoda [-genes N] [-seed S] <subcommand> [args]
+//
+// Subcommands:
+//
+//	corpus                     print corpus statistics
+//	oml <source> [i]           Figure 3 OML text for record i of a source
+//	gml                        describe the global model mappings
+//	query <lorel>              run a global Lorel query through the mediator
+//	ask [flags...]             run a biological question (Figure 5(a))
+//	show <url>                 individual object view for a web-link (5(c))
+//	sql <query>                DiscoveryLink-style SQL against nicknames
+//	table1                     regenerate the paper's Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/capability"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fedsql"
+	"repro/internal/mediator"
+	"repro/internal/warehouse"
+	"repro/internal/wrapper"
+)
+
+func main() {
+	genes := flag.Int("genes", 1000, "corpus size (genes)")
+	seed := flag.Uint64("seed", 20050405, "corpus seed")
+	policy := flag.String("policy", "prefer-primary", "reconciliation policy: prefer-primary|majority|union")
+	protdb := flag.Bool("protdb", false, "plug the protein source in at startup")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := datagen.DefaultConfig()
+	cfg.Genes = *genes
+	cfg.Seed = *seed
+	c := datagen.Generate(cfg)
+	opts := mediator.Options{}
+	switch *policy {
+	case "prefer-primary":
+		opts.Policy = mediator.PolicyPreferPrimary
+	case "majority":
+		opts.Policy = mediator.PolicyMajority
+	case "union":
+		opts.Policy = mediator.PolicyUnion
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	sys, err := core.New(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *protdb {
+		if err := sys.PlugInProteins(); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "corpus":
+		fmt.Printf("seed %d: %d genes, %d GO terms, %d diseases\n", cfg.Seed, len(c.Genes), len(c.Terms), len(c.Diseases))
+		fmt.Printf("figure-5b ground truth: %d genes with GO but no OMIM\n", len(c.GenesWithGoButNotOMIM()))
+		fmt.Printf("conflicting genes: %d\n", len(c.ConflictingGenes()))
+	case "oml":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: annoda oml <source> [index]"))
+		}
+		w := sys.Registry.Get(args[1])
+		if w == nil {
+			fatal(fmt.Errorf("unknown source %q (have %v)", args[1], sys.Registry.Names()))
+		}
+		i := 0
+		if len(args) > 2 {
+			i, err = strconv.Atoi(args[2])
+			if err != nil {
+				fatal(err)
+			}
+		}
+		text, err := wrapper.FragmentText(w, i)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	case "gml":
+		fmt.Print(sys.Global.Describe())
+	case "query":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: annoda query '<lorel>'"))
+		}
+		res, stats, err := sys.Query(strings.Join(args[1:], " "))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("answer: %d edges\n", res.Size())
+		fmt.Print(stats.String())
+	case "ask":
+		q, err := parseQuestion(args[1:])
+		if err != nil {
+			fatal(err)
+		}
+		v, stats, err := sys.Ask(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(v.Format())
+		fmt.Print(stats.String())
+	case "show":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: annoda show <url>"))
+		}
+		out, err := sys.ObjectView(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "sql":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: annoda sql '<select>'"))
+		}
+		rs, err := fedsql.New(sys.Registry).Query(strings.Join(args[1:], " "))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rs.Format())
+	case "table1":
+		gus := warehouse.New(sys.Registry, sys.Global)
+		if err := gus.Refresh(); err != nil {
+			fatal(err)
+		}
+		rows, err := capability.BuildTable(&capability.Fixture{
+			ANNODA:  sys,
+			Kleisli: &capability.WrappedMultidb{System: sys},
+			DL:      fedsql.New(sys.Registry),
+			GUS:     gus,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(capability.Format(rows))
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", args[0]))
+	}
+}
+
+// parseQuestion turns "include=GO exclude=OMIM combine=any cond=Organism=Homo sapiens"
+// style arguments into a Question.
+func parseQuestion(args []string) (core.Question, error) {
+	var q core.Question
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return q, fmt.Errorf("bad question argument %q (want key=value)", a)
+		}
+		switch k {
+		case "include":
+			q.Include = append(q.Include, strings.Split(v, ",")...)
+		case "exclude":
+			q.Exclude = append(q.Exclude, strings.Split(v, ",")...)
+		case "combine":
+			if v == "any" {
+				q.Combine = core.CombineAny
+			}
+		case "cond":
+			parts := strings.SplitN(v, ":", 3)
+			if len(parts) != 3 {
+				return q, fmt.Errorf("bad cond %q (want field:op:value)", v)
+			}
+			q.Conditions = append(q.Conditions, core.Condition{Field: parts[0], Op: parts[1], Value: parts[2]})
+		default:
+			return q, fmt.Errorf("unknown question key %q", k)
+		}
+	}
+	return q, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "annoda:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Navigation scenario: the interactive web-link navigation of Figure 5(c),
+// scripted. Starting from a gene's report page, the session hops across
+// sources — gene -> GO term -> back -> OMIM entry — exactly the clicks the
+// paper's screenshots show, plus a comparison against the Entrez-style
+// hypertext baseline for the same information need.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/annoda"
+	"repro/internal/navigate"
+	"repro/internal/sources/locuslink"
+)
+
+func main() {
+	corpus := annoda.GenerateCorpus(annoda.CorpusConfig{
+		Seed: 5, Genes: 200, GoTerms: 100, Diseases: 80,
+		ConflictRate: 0.2, MissingRate: 0.1,
+	})
+	sys, err := annoda.NewSystem(corpus, annoda.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a gene with both GO and OMIM links.
+	var gene = func() *struct {
+		id  int
+		sym string
+	} {
+		for i := range corpus.Genes {
+			g := &corpus.Genes[i]
+			if len(g.GoTerms) > 0 && len(g.Diseases) > 0 {
+				return &struct {
+					id  int
+					sym string
+				}{g.LocusID, g.Symbol}
+			}
+		}
+		return nil
+	}()
+	if gene == nil {
+		log.Fatal("no doubly-linked gene")
+	}
+
+	session := navigate.NewSession(sys.Resolver)
+	start, err := session.Open(locuslink.SelfURL(gene.id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened %s record for %s:\n", start.Source, gene.sym)
+	view, _ := sys.ObjectView(locuslink.SelfURL(gene.id))
+	fmt.Println(view)
+
+	// Follow the first GO link...
+	links, err := sys.Resolver.OutLinks(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var goURL, omimURL string
+	for _, l := range links {
+		if strings.HasPrefix(l, locuslink.GOURLPrefix) && goURL == "" {
+			goURL = l
+		}
+		if strings.HasPrefix(l, locuslink.OMIMURLPrefix) && omimURL == "" {
+			omimURL = l
+		}
+	}
+	tgt, err := session.Open(goURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("followed GO link into source %q:\n", tgt.Source)
+	out, _ := sys.Resolver.Render(tgt)
+	fmt.Println(out)
+
+	// ...go back, then into OMIM.
+	if _, ok := session.Back(); !ok {
+		log.Fatal("back failed")
+	}
+	tgt, err = session.Open(omimURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("followed OMIM link into source %q:\n", tgt.Source)
+	out, _ = sys.Resolver.Render(tgt)
+	fmt.Println(out)
+	fmt.Printf("session cost: %d resolution round trips\n\n", session.Trips)
+
+	// The hypertext baseline needs the same clicks for EVERY gene; ANNODA's
+	// mediator answers the whole-corpus question in one query.
+	h := &navigate.Hypertext{LL: sys.LocusLink, GO: sys.GO, OM: sys.OMIM}
+	card := h.GeneCard(gene.sym)
+	fmt.Printf("hypertext gene card (unreconciled, %d round trips):\n%s", card.RoundTrips, card.String())
+}

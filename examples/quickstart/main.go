@@ -1,0 +1,44 @@
+// Quickstart: load the default corpus, assemble ANNODA, and run the
+// paper's running example — "find LocusLink genes annotated with some GO
+// function but not associated with an OMIM disease".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/annoda"
+)
+
+func main() {
+	// A deterministic synthetic corpus stands in for the 2004-era public
+	// LocusLink/GO/OMIM databases (see DESIGN.md, substitution record).
+	corpus := annoda.DefaultCorpus()
+
+	sys, err := annoda.NewSystem(corpus, annoda.Options{Policy: annoda.PolicyPreferPrimary})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Figure 5(a) question interface: no SQL, no source schemas.
+	view, stats, err := sys.Ask(annoda.Figure5bQuestion())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("genes annotated in GO but absent from OMIM: %d\n", len(view.Rows))
+	for _, row := range view.Rows[:5] {
+		fmt.Printf("  %-10s locus %-6d %-18s %s  (%d GO terms)\n",
+			row.Symbol, row.GeneID, row.Organism, row.Position, len(row.GoIDs))
+	}
+	fmt.Printf("  ...\nsources queried: %v, conflicts reconciled: %d\n",
+		stats.SourcesQueried, len(stats.Conflicts))
+
+	// The same question as a raw Lorel query in the global vocabulary.
+	res, _, err := sys.Query(
+		`select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct Lorel query agrees: %v (%d answers)\n",
+		res.Size() == len(view.Rows), res.Size())
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the paper's §6 future-work item: "Re-Organization of
+// the retrieved results will be mainly focused on to facilitate the further
+// analysis" (and Table 1's "re-organization of result possible" row). A
+// View supports grouping, re-sorting, filtering and tabular export without
+// re-running the federated query.
+
+// GroupBy partitions the view's rows by a key function, returning group
+// keys in sorted order.
+func (v *View) GroupBy(key func(ViewRow) string) ([]string, map[string][]ViewRow) {
+	groups := map[string][]ViewRow{}
+	for _, r := range v.Rows {
+		k := key(r)
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, groups
+}
+
+// ByOrganism groups rows by organism.
+func (v *View) ByOrganism() ([]string, map[string][]ViewRow) {
+	return v.GroupBy(func(r ViewRow) string { return r.Organism })
+}
+
+// ByChromosome groups rows by the chromosome part of the cytogenetic
+// position ("19q13.32" -> "19").
+func (v *View) ByChromosome() ([]string, map[string][]ViewRow) {
+	return v.GroupBy(func(r ViewRow) string {
+		pos := r.Position
+		i := 0
+		for i < len(pos) && pos[i] >= '0' && pos[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return "?"
+		}
+		return pos[:i]
+	})
+}
+
+// SortBy re-orders rows in place by the named field: symbol, geneid,
+// organism, position, go (annotation count) or omim (disease count).
+func (v *View) SortBy(field string) error {
+	var less func(a, b ViewRow) bool
+	switch strings.ToLower(field) {
+	case "symbol":
+		less = func(a, b ViewRow) bool { return a.Symbol < b.Symbol }
+	case "geneid":
+		less = func(a, b ViewRow) bool { return a.GeneID < b.GeneID }
+	case "organism":
+		less = func(a, b ViewRow) bool { return a.Organism < b.Organism }
+	case "position":
+		less = func(a, b ViewRow) bool { return a.Position < b.Position }
+	case "go":
+		less = func(a, b ViewRow) bool { return len(a.GoIDs) > len(b.GoIDs) }
+	case "omim":
+		less = func(a, b ViewRow) bool { return len(a.MimIDs) > len(b.MimIDs) }
+	default:
+		return fmt.Errorf("core: cannot sort by %q", field)
+	}
+	sort.SliceStable(v.Rows, func(i, j int) bool { return less(v.Rows[i], v.Rows[j]) })
+	return nil
+}
+
+// Filter returns a new View holding only the rows the predicate keeps; the
+// original is untouched.
+func (v *View) Filter(keep func(ViewRow) bool) *View {
+	out := &View{Question: v.Question, Conflicts: v.Conflicts}
+	for _, r := range v.Rows {
+		if keep(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the view for downstream analysis tools — the
+// "further computation" the paper promises the re-organized result serves.
+func (v *View) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"symbol", "gene_id", "organism", "position", "go_ids", "mim_ids", "proteins"}); err != nil {
+		return err
+	}
+	for _, r := range v.Rows {
+		var mims []string
+		for _, m := range r.MimIDs {
+			mims = append(mims, fmt.Sprintf("%d", m))
+		}
+		rec := []string{
+			r.Symbol,
+			fmt.Sprintf("%d", r.GeneID),
+			r.Organism,
+			r.Position,
+			strings.Join(r.GoIDs, ";"),
+			strings.Join(mims, ";"),
+			strings.Join(r.Proteins, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary aggregates the view per organism: gene count, mean GO
+// annotations, disease-linked fraction.
+type Summary struct {
+	Organism        string
+	Genes           int
+	MeanGoTerms     float64
+	DiseaseFraction float64
+}
+
+// Summarize computes per-organism summaries in organism order.
+func (v *View) Summarize() []Summary {
+	keys, groups := v.ByOrganism()
+	var out []Summary
+	for _, k := range keys {
+		rows := groups[k]
+		s := Summary{Organism: k, Genes: len(rows)}
+		goTotal, diseased := 0, 0
+		for _, r := range rows {
+			goTotal += len(r.GoIDs)
+			if len(r.MimIDs) > 0 {
+				diseased++
+			}
+		}
+		if len(rows) > 0 {
+			s.MeanGoTerms = float64(goTotal) / float64(len(rows))
+			s.DiseaseFraction = float64(diseased) / float64(len(rows))
+		}
+		out = append(out, s)
+	}
+	return out
+}

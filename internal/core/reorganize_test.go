@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func viewFixture(t *testing.T) *View {
+	t.Helper()
+	s := system(t)
+	v, _, err := s.Ask(Question{Include: []string{"GO"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) < 5 {
+		t.Fatalf("fixture too small: %d rows", len(v.Rows))
+	}
+	return v
+}
+
+func TestGroupByOrganism(t *testing.T) {
+	v := viewFixture(t)
+	keys, groups := v.ByOrganism()
+	total := 0
+	for _, k := range keys {
+		total += len(groups[k])
+		for _, r := range groups[k] {
+			if r.Organism != k {
+				t.Fatalf("row with organism %q in group %q", r.Organism, k)
+			}
+		}
+	}
+	if total != len(v.Rows) {
+		t.Errorf("groups hold %d rows, view has %d", total, len(v.Rows))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Error("group keys not sorted")
+		}
+	}
+}
+
+func TestGroupByChromosome(t *testing.T) {
+	v := viewFixture(t)
+	keys, groups := v.ByChromosome()
+	if len(keys) == 0 {
+		t.Fatal("no chromosome groups")
+	}
+	for _, k := range keys {
+		for _, r := range groups[k] {
+			if !strings.HasPrefix(r.Position, k) {
+				t.Fatalf("position %q grouped under chromosome %q", r.Position, k)
+			}
+		}
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	v := viewFixture(t)
+	for _, field := range []string{"symbol", "geneid", "organism", "position", "go", "omim"} {
+		if err := v.SortBy(field); err != nil {
+			t.Fatalf("SortBy(%s): %v", field, err)
+		}
+	}
+	if err := v.SortBy("geneid"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(v.Rows); i++ {
+		if v.Rows[i-1].GeneID > v.Rows[i].GeneID {
+			t.Fatal("not sorted by geneid")
+		}
+	}
+	if err := v.SortBy("go"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(v.Rows); i++ {
+		if len(v.Rows[i-1].GoIDs) < len(v.Rows[i].GoIDs) {
+			t.Fatal("not sorted by GO count descending")
+		}
+	}
+	if err := v.SortBy("nonsense"); err == nil {
+		t.Error("bad sort field accepted")
+	}
+}
+
+func TestFilterLeavesOriginalIntact(t *testing.T) {
+	v := viewFixture(t)
+	before := len(v.Rows)
+	human := v.Filter(func(r ViewRow) bool { return r.Organism == "Homo sapiens" })
+	if len(v.Rows) != before {
+		t.Error("filter mutated the original view")
+	}
+	for _, r := range human.Rows {
+		if r.Organism != "Homo sapiens" {
+			t.Fatal("filter kept wrong row")
+		}
+	}
+	if len(human.Rows) == 0 || len(human.Rows) == before {
+		t.Skipf("degenerate filter split: %d of %d", len(human.Rows), before)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	v := viewFixture(t)
+	var sb strings.Builder
+	if err := v.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(v.Rows)+1 {
+		t.Fatalf("%d csv lines for %d rows", len(lines), len(v.Rows))
+	}
+	if !strings.HasPrefix(lines[0], "symbol,gene_id,organism") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], v.Rows[0].Symbol) {
+		t.Errorf("first row missing symbol: %q", lines[1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	v := viewFixture(t)
+	sums := v.Summarize()
+	if len(sums) == 0 {
+		t.Fatal("no summaries")
+	}
+	total := 0
+	for _, s := range sums {
+		total += s.Genes
+		if s.MeanGoTerms <= 0 {
+			t.Errorf("%s: mean GO terms = %v (every row has GO by construction)", s.Organism, s.MeanGoTerms)
+		}
+		if s.DiseaseFraction < 0 || s.DiseaseFraction > 1 {
+			t.Errorf("%s: disease fraction = %v", s.Organism, s.DiseaseFraction)
+		}
+	}
+	if total != len(v.Rows) {
+		t.Errorf("summaries cover %d genes, view has %d", total, len(v.Rows))
+	}
+}

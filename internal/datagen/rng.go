@@ -1,0 +1,53 @@
+package datagen
+
+// RNG is a SplitMix64 pseudo-random generator. It is tiny, fast, and — the
+// property we actually need — stable across Go releases, so a corpus seed
+// printed in EXPERIMENTS.md regenerates byte-identical data forever.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator for the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("datagen: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float() < p }
+
+// Pick returns a random element of xs.
+func Pick[T any](r *RNG, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func Shuffle[T any](r *RNG, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Fork derives an independent generator from this one; used so that the
+// sizes of one corpus section do not shift the random sequence of the next.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Next()) }

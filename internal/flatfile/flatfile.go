@@ -1,0 +1,347 @@
+// Package flatfile implements an SRS-style indexed flat-file record library.
+//
+// SRS (Etzold & Argos 1993) — one of the hypertext-navigation systems the
+// ANNODA paper surveys — is "an indexing and retrieval tool for flat file
+// data libraries": biological databanks distributed as text files made of
+// tagged-field records. ANNODA's GO and OMIM sources store their data in
+// exactly such files; their wrappers parse them through this package.
+//
+// A Library holds ordered Records; each Record is an ordered multiset of
+// (Tag, Value) fields. Dialects configure how records are delimited:
+// OBO-style stanzas ("[Term]" headers) and EMBL/OMIM-style terminated
+// records ("//" lines) are both supported. Tag indexes provide exact and
+// substring retrieval, the operations SRS exposes.
+package flatfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Field is one tagged line of a record.
+type Field struct {
+	Tag   string
+	Value string
+}
+
+// Record is an ordered list of fields. Tags may repeat (e.g. multiple
+// "is_a" parents in an OBO term).
+type Record struct {
+	Fields []Field
+}
+
+// First returns the value of the first field with the given tag, or "".
+func (r *Record) First(tag string) string {
+	for _, f := range r.Fields {
+		if strings.EqualFold(f.Tag, tag) {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// All returns the values of every field with the given tag, in order.
+func (r *Record) All(tag string) []string {
+	var out []string
+	for _, f := range r.Fields {
+		if strings.EqualFold(f.Tag, tag) {
+			out = append(out, f.Value)
+		}
+	}
+	return out
+}
+
+// Has reports whether the record has at least one field with the tag.
+func (r *Record) Has(tag string) bool {
+	for _, f := range r.Fields {
+		if strings.EqualFold(f.Tag, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add appends a field.
+func (r *Record) Add(tag, value string) {
+	r.Fields = append(r.Fields, Field{Tag: tag, Value: value})
+}
+
+// Tags returns the distinct tags in first-seen order.
+func (r *Record) Tags() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range r.Fields {
+		lt := strings.ToLower(f.Tag)
+		if !seen[lt] {
+			seen[lt] = true
+			out = append(out, f.Tag)
+		}
+	}
+	return out
+}
+
+// Dialect configures record delimiting and the tag separator.
+type Dialect struct {
+	// Name identifies the dialect in errors.
+	Name string
+	// StanzaStart, when non-empty, begins a new record at any line equal to
+	// it (OBO's "[Term]"). Lines before the first stanza are ignored
+	// (headers).
+	StanzaStart string
+	// Terminator, when non-empty, ends the current record at any line equal
+	// to it (EMBL/OMIM's "//").
+	Terminator string
+	// Sep separates tag from value; defaults to ":".
+	Sep string
+}
+
+// OBO is the Gene-Ontology-style stanza dialect.
+var OBO = Dialect{Name: "obo", StanzaStart: "[Term]", Sep: ":"}
+
+// EMBL is the terminator-delimited dialect used by the OMIM-style records.
+var EMBL = Dialect{Name: "embl", Terminator: "//", Sep: ":"}
+
+func (d Dialect) sep() string {
+	if d.Sep == "" {
+		return ":"
+	}
+	return d.Sep
+}
+
+// Library is an in-memory flat-file databank with optional tag indexes.
+// It is safe for concurrent readers; Add and BuildIndex take a write lock.
+type Library struct {
+	mu      sync.RWMutex
+	dialect Dialect
+	records []*Record
+	// exact index: tag(lower) -> value(lower) -> sorted record positions
+	exact map[string]map[string][]int
+}
+
+// NewLibrary returns an empty library using the given dialect for I/O.
+func NewLibrary(d Dialect) *Library {
+	return &Library{dialect: d, exact: make(map[string]map[string][]int)}
+}
+
+// Parse reads a whole flat file into a new library.
+func Parse(r io.Reader, d Dialect) (*Library, error) {
+	lib := NewLibrary(d)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur *Record
+	inBody := d.StanzaStart == "" // terminator dialects start in-body
+	lineNo := 0
+	flush := func() {
+		if cur != nil && len(cur.Fields) > 0 {
+			lib.add(cur)
+		}
+		cur = nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t\r")
+		if line == "" {
+			continue
+		}
+		if d.StanzaStart != "" && line == d.StanzaStart {
+			flush()
+			cur = &Record{}
+			inBody = true
+			continue
+		}
+		if d.Terminator != "" && line == d.Terminator {
+			flush()
+			continue
+		}
+		if !inBody {
+			continue // header material before the first stanza
+		}
+		if strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue // comments
+		}
+		idx := strings.Index(line, d.sep())
+		if idx <= 0 {
+			return nil, fmt.Errorf("flatfile(%s): line %d: no %q separator in %q", d.Name, lineNo, d.sep(), line)
+		}
+		if cur == nil {
+			cur = &Record{}
+		}
+		tag := strings.TrimSpace(line[:idx])
+		val := strings.TrimSpace(line[idx+len(d.sep()):])
+		cur.Add(tag, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return lib, nil
+}
+
+func (l *Library) add(r *Record) {
+	pos := len(l.records)
+	l.records = append(l.records, r)
+	for tag, byVal := range l.exact {
+		for _, v := range r.All(tag) {
+			lv := strings.ToLower(v)
+			byVal[lv] = append(byVal[lv], pos)
+		}
+	}
+}
+
+// Add appends a record to the library, maintaining any indexes.
+func (l *Library) Add(r *Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.add(r)
+}
+
+// Len returns the number of records.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records)
+}
+
+// Get returns the record at position i, or nil if out of range.
+func (l *Library) Get(i int) *Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if i < 0 || i >= len(l.records) {
+		return nil
+	}
+	return l.records[i]
+}
+
+// BuildIndex creates (or rebuilds) an exact-match index on a tag.
+func (l *Library) BuildIndex(tag string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lt := strings.ToLower(tag)
+	byVal := make(map[string][]int)
+	for pos, r := range l.records {
+		for _, v := range r.All(tag) {
+			lv := strings.ToLower(v)
+			byVal[lv] = append(byVal[lv], pos)
+		}
+	}
+	l.exact[lt] = byVal
+}
+
+// HasIndex reports whether an exact index exists for the tag.
+func (l *Library) HasIndex(tag string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.exact[strings.ToLower(tag)]
+	return ok
+}
+
+// Find returns the positions of records having a field tag whose value
+// equals value (case-insensitive). It uses the exact index when present and
+// scans otherwise.
+func (l *Library) Find(tag, value string) []int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	lt, lv := strings.ToLower(tag), strings.ToLower(value)
+	if byVal, ok := l.exact[lt]; ok {
+		return append([]int(nil), byVal[lv]...)
+	}
+	var out []int
+	for pos, r := range l.records {
+		for _, v := range r.All(tag) {
+			if strings.ToLower(v) == lv {
+				out = append(out, pos)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Search returns the positions of records having a field tag whose value
+// contains substr (case-insensitive). Always a scan; SRS's "browse" mode.
+func (l *Library) Search(tag, substr string) []int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	ls := strings.ToLower(substr)
+	var out []int
+	for pos, r := range l.records {
+		for _, v := range r.All(tag) {
+			if strings.Contains(strings.ToLower(v), ls) {
+				out = append(out, pos)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Scan visits every record in order; return false to stop.
+func (l *Library) Scan(visit func(int, *Record) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i, r := range l.records {
+		if !visit(i, r) {
+			return
+		}
+	}
+}
+
+// Tags returns every tag appearing in the library with its occurrence
+// count, sorted by tag. Wrappers use this to describe a source's structure.
+func (l *Library) Tags() map[string]int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string]int)
+	for _, r := range l.records {
+		for _, f := range r.Fields {
+			out[f.Tag]++
+		}
+	}
+	return out
+}
+
+// TagNames returns the sorted distinct tag names.
+func (l *Library) TagNames() []string {
+	m := l.Tags()
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Write serializes the library back to its dialect's flat-file form.
+func (l *Library) Write(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	d := l.dialect
+	for _, r := range l.records {
+		if d.StanzaStart != "" {
+			if _, err := fmt.Fprintln(bw, d.StanzaStart); err != nil {
+				return err
+			}
+		}
+		for _, f := range r.Fields {
+			if _, err := fmt.Fprintf(bw, "%s%s %s\n", f.Tag, d.sep(), f.Value); err != nil {
+				return err
+			}
+		}
+		if d.Terminator != "" {
+			if _, err := fmt.Fprintln(bw, d.Terminator); err != nil {
+				return err
+			}
+		}
+		if d.StanzaStart != "" && d.Terminator == "" {
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

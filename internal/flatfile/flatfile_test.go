@@ -1,0 +1,227 @@
+package flatfile
+
+import (
+	"strings"
+	"testing"
+)
+
+const oboSample = `format-version: 1.2
+date: 2004-11-30
+
+[Term]
+id: GO:0003700
+name: transcription factor activity
+namespace: molecular_function
+is_a: GO:0003677
+
+[Term]
+id: GO:0005515
+name: protein binding
+namespace: molecular_function
+! a comment line
+is_a: GO:0005488
+is_a: GO:0003674
+`
+
+const emblSample = `ID: 164772
+TI: FOSB PROTO-ONCOGENE
+GS: FOSB
+CD: 19q13.32
+//
+ID: 191170
+TI: TUMOR PROTEIN P53
+GS: TP53
+GS: P53
+CD: 17p13.1
+//
+`
+
+func TestParseOBO(t *testing.T) {
+	lib, err := Parse(strings.NewReader(oboSample), OBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 2 {
+		t.Fatalf("Len = %d", lib.Len())
+	}
+	r := lib.Get(0)
+	if r.First("id") != "GO:0003700" {
+		t.Errorf("id = %q", r.First("id"))
+	}
+	if r.First("name") != "transcription factor activity" {
+		t.Errorf("name = %q", r.First("name"))
+	}
+	r2 := lib.Get(1)
+	if got := r2.All("is_a"); len(got) != 2 || got[0] != "GO:0005488" {
+		t.Errorf("is_a = %v", got)
+	}
+	// Header lines before the first stanza must be ignored.
+	if r.Has("format-version") {
+		t.Error("header leaked into record")
+	}
+	// Comment lines are skipped.
+	if r2.Has("!") {
+		t.Error("comment leaked")
+	}
+}
+
+func TestParseEMBL(t *testing.T) {
+	lib, err := Parse(strings.NewReader(emblSample), EMBL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 2 {
+		t.Fatalf("Len = %d", lib.Len())
+	}
+	if lib.Get(1).First("TI") != "TUMOR PROTEIN P53" {
+		t.Errorf("TI = %q", lib.Get(1).First("TI"))
+	}
+	if got := lib.Get(1).All("GS"); len(got) != 2 {
+		t.Errorf("GS = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("noseparator\n//\n"), EMBL); err == nil {
+		t.Error("expected separator error")
+	}
+}
+
+func TestFirstAllHasCaseInsensitive(t *testing.T) {
+	r := &Record{}
+	r.Add("GS", "TP53")
+	if r.First("gs") != "TP53" || !r.Has("Gs") || len(r.All("gS")) != 1 {
+		t.Error("tag matching should be case-insensitive")
+	}
+	if r.First("zz") != "" || r.Has("zz") || r.All("zz") != nil {
+		t.Error("missing tag handling wrong")
+	}
+}
+
+func TestFindWithAndWithoutIndex(t *testing.T) {
+	lib, err := Parse(strings.NewReader(emblSample), EMBL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unindexed scan path.
+	got := lib.Find("GS", "p53")
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("scan Find = %v", got)
+	}
+	// Indexed path must agree.
+	lib.BuildIndex("GS")
+	if !lib.HasIndex("gs") {
+		t.Error("index missing")
+	}
+	got2 := lib.Find("GS", "P53")
+	if len(got2) != 1 || got2[0] != 1 {
+		t.Fatalf("indexed Find = %v", got2)
+	}
+	// Adding a record keeps the index current.
+	nr := &Record{}
+	nr.Add("ID", "600185")
+	nr.Add("GS", "P53")
+	lib.Add(nr)
+	got3 := lib.Find("GS", "p53")
+	if len(got3) != 2 {
+		t.Fatalf("after Add, Find = %v", got3)
+	}
+}
+
+func TestSearchSubstring(t *testing.T) {
+	lib, err := Parse(strings.NewReader(emblSample), EMBL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lib.Search("TI", "protein")
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Search = %v", got)
+	}
+	if got := lib.Search("TI", "zzz"); len(got) != 0 {
+		t.Errorf("Search miss = %v", got)
+	}
+}
+
+func TestTagsAndTagNames(t *testing.T) {
+	lib, err := Parse(strings.NewReader(emblSample), EMBL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := lib.Tags()
+	if tags["GS"] != 3 || tags["ID"] != 2 {
+		t.Errorf("Tags = %v", tags)
+	}
+	names := lib.TagNames()
+	if len(names) != 4 || names[0] != "CD" {
+		t.Errorf("TagNames = %v", names)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		src     string
+		dialect Dialect
+	}{
+		{"obo", oboSample, OBO},
+		{"embl", emblSample, EMBL},
+	} {
+		lib, err := Parse(strings.NewReader(tc.src), tc.dialect)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var sb strings.Builder
+		if err := lib.Write(&sb); err != nil {
+			t.Fatalf("%s: write: %v", tc.name, err)
+		}
+		lib2, err := Parse(strings.NewReader(sb.String()), tc.dialect)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", tc.name, err, sb.String())
+		}
+		if lib2.Len() != lib.Len() {
+			t.Fatalf("%s: %d != %d records", tc.name, lib2.Len(), lib.Len())
+		}
+		for i := 0; i < lib.Len(); i++ {
+			a, b := lib.Get(i), lib2.Get(i)
+			if len(a.Fields) != len(b.Fields) {
+				t.Fatalf("%s: record %d field counts differ", tc.name, i)
+			}
+			for j := range a.Fields {
+				if a.Fields[j] != b.Fields[j] {
+					t.Errorf("%s: record %d field %d: %v != %v", tc.name, i, j, a.Fields[j], b.Fields[j])
+				}
+			}
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	lib, _ := Parse(strings.NewReader(emblSample), EMBL)
+	n := 0
+	lib.Scan(func(int, *Record) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("scan visited %d", n)
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	lib := NewLibrary(EMBL)
+	if lib.Get(-1) != nil || lib.Get(0) != nil {
+		t.Error("out-of-range Get should be nil")
+	}
+}
+
+func TestValueWithSeparator(t *testing.T) {
+	// URLs contain ':'; only the first separator splits.
+	src := "ID: 1\nURL: http://x.test/path\n//\n"
+	lib, err := Parse(strings.NewReader(src), EMBL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Get(0).First("URL"); got != "http://x.test/path" {
+		t.Errorf("URL = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package gml
+
+import (
+	"repro/internal/oem"
+	"repro/internal/wrapper"
+)
+
+// Concept is one unified entity type of the global schema — the "general
+// knowledge of the domain" half of GML construction. Every wrapped source's
+// entity population is mapped onto exactly one concept.
+type Concept struct {
+	Name string
+	// Key is the label whose (normalized) value identifies an entity for
+	// cross-source fusion; "" means entities are never fused.
+	Key    string
+	Labels []wrapper.LabelInfo
+}
+
+// Schema converts the concept to a matchable schema.
+func (c Concept) Schema() wrapper.Schema {
+	return wrapper.Schema{Source: "GML", Entity: c.Name, Labels: c.Labels}
+}
+
+// DomainConcepts returns the built-in global schema: the concepts the three
+// demo sources (plus the pluggable protein source) populate.
+func DomainConcepts() []Concept {
+	return []Concept{
+		{
+			Name: "Gene",
+			Key:  "Symbol",
+			Labels: []wrapper.LabelInfo{
+				{Name: "GeneID", Kind: oem.KindInt},
+				{Name: "Symbol", Kind: oem.KindString},
+				{Name: "Organism", Kind: oem.KindString},
+				{Name: "Description", Kind: oem.KindString, Optional: true},
+				{Name: "Position", Kind: oem.KindString, Optional: true},
+				{Name: "Alias", Kind: oem.KindString, Repeatable: true, Optional: true},
+				{Name: "WebLink", Kind: oem.KindURL, Optional: true},
+				{Name: "Links", Kind: oem.KindComplex, Optional: true},
+			},
+		},
+		{
+			Name: "Annotation",
+			Key:  "",
+			Labels: []wrapper.LabelInfo{
+				{Name: "Symbol", Kind: oem.KindString},
+				{Name: "Organism", Kind: oem.KindString, Optional: true},
+				{Name: "GoID", Kind: oem.KindString},
+				{Name: "Evidence", Kind: oem.KindString, Optional: true},
+				{Name: "Term", Kind: oem.KindComplex, Optional: true},
+			},
+		},
+		{
+			Name: "Disease",
+			Key:  "MimNumber",
+			Labels: []wrapper.LabelInfo{
+				{Name: "MimNumber", Kind: oem.KindInt},
+				{Name: "Title", Kind: oem.KindString},
+				{Name: "Symbol", Kind: oem.KindString, Repeatable: true, Optional: true},
+				{Name: "GeneID", Kind: oem.KindInt, Repeatable: true, Optional: true},
+				{Name: "Position", Kind: oem.KindString, Optional: true},
+				{Name: "Inheritance", Kind: oem.KindString, Optional: true},
+				{Name: "WebLink", Kind: oem.KindURL, Optional: true},
+			},
+		},
+		{
+			Name: "Protein",
+			Key:  "Accession",
+			Labels: []wrapper.LabelInfo{
+				{Name: "Accession", Kind: oem.KindString},
+				{Name: "Symbol", Kind: oem.KindString},
+				{Name: "Organism", Kind: oem.KindString, Optional: true},
+				{Name: "Description", Kind: oem.KindString, Optional: true},
+				{Name: "GeneID", Kind: oem.KindInt, Optional: true},
+				{Name: "Keyword", Kind: oem.KindString, Repeatable: true, Optional: true},
+			},
+		},
+	}
+}

@@ -1,0 +1,346 @@
+package lorel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed select-from-where query.
+type Query struct {
+	Select []SelectItem
+	From   []FromClause
+	Where  Cond // nil means true
+}
+
+// SelectItem projects one expression into the answer object. Label names
+// the answer edge; when empty it defaults to the path's last label or the
+// variable name.
+type SelectItem struct {
+	Path  Path
+	Label string
+}
+
+// EdgeLabel returns the answer-edge label for this item.
+func (s SelectItem) EdgeLabel() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	if last := s.Path.lastLabel(); last != "" {
+		return last
+	}
+	return s.Path.Base
+}
+
+// FromClause binds a range variable to the objects reached by a path.
+// "from ANNODA-GML.Source S" binds S to every Source child.
+type FromClause struct {
+	Path Path
+	Var  string // defaults to the path's last label when omitted
+}
+
+// BindName returns the variable name the clause binds.
+func (f FromClause) BindName() string {
+	if f.Var != "" {
+		return f.Var
+	}
+	if last := f.Path.lastLabel(); last != "" {
+		return last
+	}
+	return f.Path.Base
+}
+
+// Path is a general path expression: a base (variable or root name)
+// followed by a regular expression over labels.
+type Path struct {
+	Base  string
+	Steps []Step
+}
+
+func (p Path) lastLabel() string {
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		if l, ok := p.Steps[i].(LabelStep); ok {
+			return l.Name
+		}
+	}
+	return ""
+}
+
+// String renders the path in query syntax.
+func (p Path) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Base)
+	for _, s := range p.Steps {
+		sb.WriteByte('.')
+		sb.WriteString(stepString(s))
+	}
+	return sb.String()
+}
+
+// Step is one element of a path regular expression.
+type Step interface{ isStep() }
+
+// LabelStep matches exactly one edge with the given label
+// (case-insensitive, as Lorel treats labels).
+type LabelStep struct{ Name string }
+
+// WildcardStep matches exactly one edge with any label ('%').
+type WildcardStep struct{}
+
+// AnyPathStep matches any sequence of edges, including none ('#').
+type AnyPathStep struct{}
+
+// GroupStep wraps a sub-path with alternation and an optional repetition
+// suffix: (A.B|C)? , (X)* , (Y)+ .
+type GroupStep struct {
+	Alternatives [][]Step
+	Quant        Quant
+}
+
+// Quant is a repetition quantifier.
+type Quant uint8
+
+// Quantifiers.
+const (
+	QOne      Quant = iota // exactly once (no suffix)
+	QOptional              // ?
+	QStar                  // *
+	QPlus                  // +
+)
+
+func (LabelStep) isStep()    {}
+func (WildcardStep) isStep() {}
+func (AnyPathStep) isStep()  {}
+func (GroupStep) isStep()    {}
+
+func stepString(s Step) string {
+	switch x := s.(type) {
+	case LabelStep:
+		return x.Name
+	case WildcardStep:
+		return "%"
+	case AnyPathStep:
+		return "#"
+	case GroupStep:
+		var alts []string
+		for _, a := range x.Alternatives {
+			var parts []string
+			for _, st := range a {
+				parts = append(parts, stepString(st))
+			}
+			alts = append(alts, strings.Join(parts, "."))
+		}
+		out := "(" + strings.Join(alts, "|") + ")"
+		switch x.Quant {
+		case QOptional:
+			out += "?"
+		case QStar:
+			out += "*"
+		case QPlus:
+			out += "+"
+		}
+		return out
+	}
+	return "?"
+}
+
+// Cond is a boolean condition in the where clause.
+type Cond interface{ isCond() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">=", "like"}
+
+func (o CmpOp) String() string { return opNames[o] }
+
+// Operand is either a path or a literal.
+type Operand struct {
+	Path *Path // nil when literal
+	Lit  *Literal
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Kind LitKind
+	S    string
+	I    int64
+	F    float64
+	B    bool
+}
+
+// LitKind tags literals.
+type LitKind uint8
+
+// Literal kinds.
+const (
+	LitString LitKind = iota
+	LitInt
+	LitReal
+	LitBool
+)
+
+// CmpCond compares two operands with existential path semantics: the
+// condition holds if SOME pair of values reached by the operand paths
+// satisfies the operator.
+type CmpCond struct {
+	Op   CmpOp
+	L, R Operand
+}
+
+// ExistsCond holds when the path reaches at least one object.
+type ExistsCond struct{ P Path }
+
+// AndCond / OrCond / NotCond are the boolean connectives.
+type AndCond struct{ L, R Cond }
+
+// OrCond is disjunction.
+type OrCond struct{ L, R Cond }
+
+// NotCond is negation.
+type NotCond struct{ E Cond }
+
+func (CmpCond) isCond()    {}
+func (ExistsCond) isCond() {}
+func (AndCond) isCond()    {}
+func (OrCond) isCond()     {}
+func (NotCond) isCond()    {}
+
+// String renders a query back to source form (used by the mediator's
+// explain output and tests).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("select ")
+	for i, s := range q.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.Path.String())
+		if s.Label != "" {
+			sb.WriteString(" as " + s.Label)
+		}
+	}
+	sb.WriteString(" from ")
+	for i, f := range q.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Path.String())
+		if f.Var != "" {
+			sb.WriteString(" " + f.Var)
+		}
+	}
+	if q.Where != nil {
+		sb.WriteString(" where ")
+		sb.WriteString(condString(q.Where))
+	}
+	return sb.String()
+}
+
+func condString(c Cond) string {
+	switch x := c.(type) {
+	case CmpCond:
+		return fmt.Sprintf("%s %s %s", operandString(x.L), x.Op, operandString(x.R))
+	case ExistsCond:
+		return "exists " + x.P.String()
+	case AndCond:
+		return "(" + condString(x.L) + " and " + condString(x.R) + ")"
+	case OrCond:
+		return "(" + condString(x.L) + " or " + condString(x.R) + ")"
+	case NotCond:
+		return "not (" + condString(x.E) + ")"
+	}
+	return "?"
+}
+
+func operandString(o Operand) string {
+	if o.Path != nil {
+		return o.Path.String()
+	}
+	switch o.Lit.Kind {
+	case LitString:
+		return fmt.Sprintf("%q", o.Lit.S)
+	case LitInt:
+		return fmt.Sprintf("%d", o.Lit.I)
+	case LitReal:
+		return fmt.Sprintf("%g", o.Lit.F)
+	case LitBool:
+		return fmt.Sprintf("%v", o.Lit.B)
+	}
+	return "?"
+}
+
+// Clone returns a deep copy of the query; the mediator rewrites clones
+// during decomposition.
+func (q *Query) Clone() *Query {
+	cp := &Query{}
+	for _, s := range q.Select {
+		cp.Select = append(cp.Select, SelectItem{Path: clonePath(s.Path), Label: s.Label})
+	}
+	for _, f := range q.From {
+		cp.From = append(cp.From, FromClause{Path: clonePath(f.Path), Var: f.Var})
+	}
+	cp.Where = cloneCond(q.Where)
+	return cp
+}
+
+func clonePath(p Path) Path {
+	return Path{Base: p.Base, Steps: cloneSteps(p.Steps)}
+}
+
+func cloneSteps(steps []Step) []Step {
+	out := make([]Step, len(steps))
+	for i, s := range steps {
+		if g, ok := s.(GroupStep); ok {
+			ng := GroupStep{Quant: g.Quant}
+			for _, alt := range g.Alternatives {
+				ng.Alternatives = append(ng.Alternatives, cloneSteps(alt))
+			}
+			out[i] = ng
+			continue
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func cloneCond(c Cond) Cond {
+	switch x := c.(type) {
+	case nil:
+		return nil
+	case CmpCond:
+		return CmpCond{Op: x.Op, L: cloneOperand(x.L), R: cloneOperand(x.R)}
+	case ExistsCond:
+		return ExistsCond{P: clonePath(x.P)}
+	case AndCond:
+		return AndCond{L: cloneCond(x.L), R: cloneCond(x.R)}
+	case OrCond:
+		return OrCond{L: cloneCond(x.L), R: cloneCond(x.R)}
+	case NotCond:
+		return NotCond{E: cloneCond(x.E)}
+	}
+	return c
+}
+
+func cloneOperand(o Operand) Operand {
+	out := Operand{}
+	if o.Path != nil {
+		p := clonePath(*o.Path)
+		out.Path = &p
+	}
+	if o.Lit != nil {
+		l := *o.Lit
+		out.Lit = &l
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package lorel
+
+import (
+	"fmt"
+
+	"repro/internal/oem"
+)
+
+// Result is the evaluation output: a fresh OEM graph holding the "answer"
+// complex object. "In Lorel, the result is always a collection of OEM
+// objects, and duplicate elimination is by oid" (paper §4.1) — the Origin
+// map records which source object each answer object was coerced from, and
+// duplicates (same select label, same source oid) are eliminated.
+type Result struct {
+	Graph  *oem.Graph
+	Answer oem.OID
+	// Origin maps answer-graph oids back to the queried graph's oids;
+	// navigation uses it to follow answers back to their sources.
+	Origin map[oem.OID]oem.OID
+	// Bindings counts the variable assignments that satisfied the where
+	// clause (for optimizer statistics).
+	Bindings int
+}
+
+// Size returns the number of edges on the answer object.
+func (r *Result) Size() int {
+	return len(r.Graph.Get(r.Answer).Refs)
+}
+
+// Eval runs a query against one OEM graph. Path bases resolve first against
+// range variables bound by earlier from-clauses, then against the graph's
+// named roots.
+func Eval(g *oem.Graph, q *Query) (*Result, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("lorel: query has no from clause")
+	}
+	res := &Result{Graph: oem.NewGraph(), Origin: make(map[oem.OID]oem.OID)}
+	res.Answer = res.Graph.NewComplex()
+	res.Graph.SetRoot("answer", res.Answer)
+
+	// Precompile from-clause and select-item NFAs.
+	fromNFA := make([]*nfa, len(q.From))
+	for i, f := range q.From {
+		fromNFA[i] = compileSteps(f.Path.Steps)
+	}
+	selNFA := make([]*nfa, len(q.Select))
+	for i, s := range q.Select {
+		selNFA[i] = compileSteps(s.Path.Steps)
+	}
+
+	imported := make(map[oem.OID]oem.OID) // source oid -> answer oid
+	type edgeKey struct {
+		label string
+		src   oem.OID
+	}
+	added := make(map[edgeKey]bool)
+
+	env := make(map[string]oem.OID)
+	var evalErr error
+	var recur func(level int) bool
+	recur = func(level int) bool {
+		if level == len(q.From) {
+			ok, err := evalCond(g, env, q.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+			res.Bindings++
+			for i, item := range q.Select {
+				starts, err := pathStarts(g, env, item.Path)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				label := item.EdgeLabel()
+				for _, src := range evalNFA(g, selNFA[i], starts) {
+					k := edgeKey{label: label, src: src}
+					if added[k] {
+						continue // duplicate elimination by oid
+					}
+					added[k] = true
+					dst, ok := imported[src]
+					if !ok {
+						var err error
+						dst, err = importShared(res.Graph, g, src, imported)
+						if err != nil {
+							evalErr = err
+							return false
+						}
+						res.Origin[dst] = src
+					}
+					if err := res.Graph.AddRef(res.Answer, label, dst); err != nil {
+						evalErr = err
+						return false
+					}
+				}
+			}
+			return true
+		}
+		f := q.From[level]
+		starts, err := pathStarts(g, env, f.Path)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		name := f.BindName()
+		for _, oid := range evalNFA(g, fromNFA[level], starts) {
+			env[name] = oid
+			if !recur(level + 1) {
+				return false
+			}
+		}
+		delete(env, name)
+		return true
+	}
+	recur(0)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return res, nil
+}
+
+// importShared copies the subgraph rooted at src into dst, reusing objects
+// already imported (so shared structure — and dedup by oid — survives).
+func importShared(dst *oem.Graph, srcG *oem.Graph, src oem.OID, imported map[oem.OID]oem.OID) (oem.OID, error) {
+	if d, ok := imported[src]; ok {
+		return d, nil
+	}
+	so := srcG.Get(src)
+	if so == nil {
+		return 0, fmt.Errorf("lorel: import of missing object %v", src)
+	}
+	switch so.Kind {
+	case oem.KindComplex:
+		d := dst.NewComplex()
+		imported[src] = d
+		for _, r := range so.Refs {
+			t, err := importShared(dst, srcG, r.Target, imported)
+			if err != nil {
+				return 0, err
+			}
+			if err := dst.AddRef(d, r.Label, t); err != nil {
+				return 0, err
+			}
+		}
+		return d, nil
+	case oem.KindInt:
+		d := dst.NewInt(so.Int)
+		imported[src] = d
+		return d, nil
+	case oem.KindReal:
+		d := dst.NewReal(so.Real)
+		imported[src] = d
+		return d, nil
+	case oem.KindString:
+		d := dst.NewString(so.Str)
+		imported[src] = d
+		return d, nil
+	case oem.KindURL:
+		d := dst.NewURL(so.Str)
+		imported[src] = d
+		return d, nil
+	case oem.KindBool:
+		d := dst.NewBool(so.Bool)
+		imported[src] = d
+		return d, nil
+	case oem.KindGif:
+		d := dst.NewGif(so.Raw)
+		imported[src] = d
+		return d, nil
+	}
+	return 0, fmt.Errorf("lorel: cannot import %v", so.Kind)
+}
+
+// pathStarts resolves a path's base to its start objects: a bound range
+// variable first, then a graph root. Unknown bases are errors — typos in
+// queries should not silently yield empty answers.
+func pathStarts(g *oem.Graph, env map[string]oem.OID, p Path) ([]oem.OID, error) {
+	if oid, ok := env[p.Base]; ok {
+		return []oem.OID{oid}, nil
+	}
+	// Roots match case-insensitively like labels.
+	for _, r := range g.Roots() {
+		if equalFold(r.Name, p.Base) {
+			return []oem.OID{r.OID}, nil
+		}
+	}
+	return nil, fmt.Errorf("lorel: unknown variable or root %q", p.Base)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalCond evaluates one condition under an explicit variable binding; the
+// mediator uses it to push single-variable predicates down to per-source
+// entity streams before fusion.
+func EvalCond(g *oem.Graph, env map[string]oem.OID, c Cond) (bool, error) {
+	return evalCond(g, env, c)
+}
+
+func evalCond(g *oem.Graph, env map[string]oem.OID, c Cond) (bool, error) {
+	switch x := c.(type) {
+	case nil:
+		return true, nil
+	case AndCond:
+		l, err := evalCond(g, env, x.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalCond(g, env, x.R)
+	case OrCond:
+		l, err := evalCond(g, env, x.L)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalCond(g, env, x.R)
+	case NotCond:
+		v, err := evalCond(g, env, x.E)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	case ExistsCond:
+		starts, err := pathStarts(g, env, x.P)
+		if err != nil {
+			return false, err
+		}
+		return len(EvalPath(g, x.P.Steps, starts)) > 0, nil
+	case CmpCond:
+		return evalCmp(g, env, x)
+	}
+	return false, fmt.Errorf("lorel: unknown condition %T", c)
+}
+
+// evalCmp applies existential comparison semantics: the predicate is true
+// when SOME value pair drawn from the two operands satisfies the operator.
+func evalCmp(g *oem.Graph, env map[string]oem.OID, c CmpCond) (bool, error) {
+	ls, err := operandValues(g, env, c.L)
+	if err != nil {
+		return false, err
+	}
+	rs, err := operandValues(g, env, c.R)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range ls {
+		for _, r := range rs {
+			if c.Op == OpLike {
+				if r.Kind == oem.KindString && oem.Like(l, r.Str) {
+					return true, nil
+				}
+				continue
+			}
+			cmp, ok := oem.Compare(l, r)
+			if !ok {
+				continue
+			}
+			switch c.Op {
+			case OpEq:
+				if cmp == 0 {
+					return true, nil
+				}
+			case OpNe:
+				if cmp != 0 {
+					return true, nil
+				}
+			case OpLt:
+				if cmp < 0 {
+					return true, nil
+				}
+			case OpLe:
+				if cmp <= 0 {
+					return true, nil
+				}
+			case OpGt:
+				if cmp > 0 {
+					return true, nil
+				}
+			case OpGe:
+				if cmp >= 0 {
+					return true, nil
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// operandValues materializes an operand into atomic objects: literal values
+// become synthetic atoms; paths yield the atomic objects they reach
+// (complex objects are skipped — they are incomparable in Lorel).
+func operandValues(g *oem.Graph, env map[string]oem.OID, o Operand) ([]*oem.Object, error) {
+	if o.Lit != nil {
+		return []*oem.Object{litObject(o.Lit)}, nil
+	}
+	starts, err := pathStarts(g, env, *o.Path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*oem.Object
+	for _, oid := range EvalPath(g, o.Path.Steps, starts) {
+		obj := g.Get(oid)
+		if obj != nil && obj.IsAtomic() {
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}
+
+func litObject(l *Literal) *oem.Object {
+	switch l.Kind {
+	case LitString:
+		return &oem.Object{Kind: oem.KindString, Str: l.S}
+	case LitInt:
+		return &oem.Object{Kind: oem.KindInt, Int: l.I}
+	case LitReal:
+		return &oem.Object{Kind: oem.KindReal, Real: l.F}
+	case LitBool:
+		return &oem.Object{Kind: oem.KindBool, Bool: l.B}
+	}
+	return &oem.Object{}
+}

@@ -1,0 +1,154 @@
+package lorel
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// lex tokenizes a Lorel query. Identifiers may contain '-' when both
+// neighbours are letters/digits, so the paper's "ANNODA-GML" scans as one
+// identifier (our subset has no arithmetic, so no ambiguity arises).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	runes := []rune(src)
+	n := len(runes)
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '-' && i+1 < n && runes[i+1] == '-':
+			for i < n && runes[i] != '\n' {
+				i++
+			}
+		case r == '"' || r == '\'':
+			quote := r
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if runes[j] == '\\' && j+1 < n {
+					switch runes[j+1] {
+					case 'n':
+						sb.WriteRune('\n')
+					case 't':
+						sb.WriteRune('\t')
+					case '\\', '"', '\'':
+						sb.WriteRune(runes[j+1])
+					default:
+						sb.WriteRune(runes[j+1])
+					}
+					j += 2
+					continue
+				}
+				if runes[j] == quote {
+					closed = true
+					break
+				}
+				sb.WriteRune(runes[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("lorel: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(r) || (r == '-' && i+1 < n && unicode.IsDigit(runes[i+1])):
+			j := i
+			if runes[j] == '-' {
+				j++
+			}
+			isReal := false
+			for j < n && (unicode.IsDigit(runes[j]) || runes[j] == '.') {
+				if runes[j] == '.' {
+					// A dot not followed by a digit terminates the number
+					// (it is a path dot).
+					if j+1 >= n || !unicode.IsDigit(runes[j+1]) {
+						break
+					}
+					isReal = true
+				}
+				j++
+			}
+			kind := tInt
+			if isReal {
+				kind = tReal
+			}
+			toks = append(toks, token{kind: kind, text: string(runes[i:j]), pos: i})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < n {
+				rj := runes[j]
+				if unicode.IsLetter(rj) || unicode.IsDigit(rj) || rj == '_' {
+					j++
+					continue
+				}
+				// '-' inside an identifier: both neighbours alphanumeric.
+				if rj == '-' && j+1 < n && (unicode.IsLetter(runes[j+1]) || unicode.IsDigit(runes[j+1])) {
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tIdent, text: string(runes[i:j]), pos: i})
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = string(runes[i : i+2])
+			}
+			switch two {
+			case "!=", "<>":
+				toks = append(toks, token{kind: tNe, pos: i})
+				i += 2
+				continue
+			case "<=":
+				toks = append(toks, token{kind: tLe, pos: i})
+				i += 2
+				continue
+			case ">=":
+				toks = append(toks, token{kind: tGe, pos: i})
+				i += 2
+				continue
+			}
+			var kind tokKind
+			switch r {
+			case '.':
+				kind = tDot
+			case ',':
+				kind = tComma
+			case '(':
+				kind = tLParen
+			case ')':
+				kind = tRParen
+			case '%':
+				kind = tPercent
+			case '#':
+				kind = tHash
+			case '|':
+				kind = tPipe
+			case '?':
+				kind = tQuest
+			case '*':
+				kind = tStar
+			case '+':
+				kind = tPlus
+			case '=':
+				kind = tEq
+			case '<':
+				kind = tLt
+			case '>':
+				kind = tGt
+			default:
+				return nil, fmt.Errorf("lorel: unexpected character %q at offset %d", r, i)
+			}
+			toks = append(toks, token{kind: kind, pos: i})
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: n})
+	return toks, nil
+}

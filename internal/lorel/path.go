@@ -1,0 +1,158 @@
+package lorel
+
+import (
+	"strings"
+
+	"repro/internal/oem"
+)
+
+// Path expressions are regular expressions over edge labels; they compile
+// to a small Thompson NFA which is then evaluated as a product traversal of
+// (NFA state, graph object). Matching is case-insensitive on labels, per
+// Lorel's forgiving treatment of semi-structured vocabularies.
+
+type matchKind uint8
+
+const (
+	mEps matchKind = iota
+	mLabel
+	mAny
+)
+
+type nfaEdge struct {
+	kind  matchKind
+	label string // lowercased, for mLabel
+	to    int
+}
+
+type nfa struct {
+	edges  [][]nfaEdge // by state
+	start  int
+	accept int
+}
+
+func (n *nfa) newState() int {
+	n.edges = append(n.edges, nil)
+	return len(n.edges) - 1
+}
+
+func (n *nfa) addEdge(from int, e nfaEdge) {
+	n.edges[from] = append(n.edges[from], e)
+}
+
+// compileSteps builds the NFA for a step sequence.
+func compileSteps(steps []Step) *nfa {
+	n := &nfa{}
+	start := n.newState()
+	cur := start
+	for _, s := range steps {
+		cur = compileStep(n, s, cur)
+	}
+	n.start = start
+	n.accept = cur
+	return n
+}
+
+// compileStep appends the fragment for one step after state `in` and
+// returns its exit state.
+func compileStep(n *nfa, s Step, in int) int {
+	switch x := s.(type) {
+	case LabelStep:
+		out := n.newState()
+		n.addEdge(in, nfaEdge{kind: mLabel, label: strings.ToLower(x.Name), to: out})
+		return out
+	case WildcardStep:
+		out := n.newState()
+		n.addEdge(in, nfaEdge{kind: mAny, to: out})
+		return out
+	case AnyPathStep:
+		mid := n.newState()
+		out := n.newState()
+		n.addEdge(in, nfaEdge{kind: mEps, to: mid})
+		n.addEdge(mid, nfaEdge{kind: mAny, to: mid})
+		n.addEdge(mid, nfaEdge{kind: mEps, to: out})
+		return out
+	case GroupStep:
+		gin := n.newState()
+		gout := n.newState()
+		n.addEdge(in, nfaEdge{kind: mEps, to: gin})
+		for _, alt := range x.Alternatives {
+			cur := gin
+			for _, st := range alt {
+				cur = compileStep(n, st, cur)
+			}
+			n.addEdge(cur, nfaEdge{kind: mEps, to: gout})
+		}
+		switch x.Quant {
+		case QOptional:
+			n.addEdge(gin, nfaEdge{kind: mEps, to: gout})
+		case QStar:
+			n.addEdge(gin, nfaEdge{kind: mEps, to: gout})
+			n.addEdge(gout, nfaEdge{kind: mEps, to: gin})
+		case QPlus:
+			n.addEdge(gout, nfaEdge{kind: mEps, to: gin})
+		}
+		return gout
+	}
+	return in
+}
+
+type prodState struct {
+	state int
+	obj   oem.OID
+}
+
+// evalNFA returns every object reachable from any start oid along a label
+// path accepted by the NFA, in first-reached order.
+func evalNFA(g *oem.Graph, n *nfa, starts []oem.OID) []oem.OID {
+	visited := make(map[prodState]bool)
+	var queue []prodState
+	push := func(s prodState) {
+		if !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for _, o := range starts {
+		push(prodState{state: n.start, obj: o})
+	}
+	var out []oem.OID
+	emitted := make(map[oem.OID]bool)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if cur.state == n.accept && !emitted[cur.obj] {
+			emitted[cur.obj] = true
+			out = append(out, cur.obj)
+		}
+		obj := g.Get(cur.obj)
+		for _, e := range n.edges[cur.state] {
+			switch e.kind {
+			case mEps:
+				push(prodState{state: e.to, obj: cur.obj})
+			case mAny:
+				if obj == nil || !obj.IsComplex() {
+					continue
+				}
+				for _, r := range obj.Refs {
+					push(prodState{state: e.to, obj: r.Target})
+				}
+			case mLabel:
+				if obj == nil || !obj.IsComplex() {
+					continue
+				}
+				for _, r := range obj.Refs {
+					if strings.ToLower(r.Label) == e.label {
+						push(prodState{state: e.to, obj: r.Target})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EvalPath evaluates a compiled path from explicit start objects; exported
+// for the mediator, which routes paths through per-source models.
+func EvalPath(g *oem.Graph, steps []Step, starts []oem.OID) []oem.OID {
+	return evalNFA(g, compileSteps(steps), starts)
+}

@@ -1,0 +1,66 @@
+// Package lorel implements the Lorel query language over OEM graphs.
+//
+// Lorel (Abiteboul, Quass, McHugh, Widom, Wiener 1997) is ANNODA's query
+// language: "a user-friendly language in the SQL and OQL style for
+// effectively querying [semi-structured] data". This implementation covers
+// the select-from-where core the paper uses:
+//
+//   - general path expressions with wildcards ('%' one label, '#' any
+//     sequence), alternation '(a|b)', grouping and '?', '*', '+' repetition;
+//   - existential comparison semantics with type coercion (compare.go in
+//     the oem package);
+//   - results coerced into new OEM "answer" objects with duplicate
+//     elimination by oid.
+//
+// The update sub-language of Lorel is intentionally out of scope — the
+// paper never uses it.
+package lorel
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tInt
+	tReal
+	tDot
+	tComma
+	tLParen
+	tRParen
+	tPercent // %
+	tHash    // #
+	tPipe    // |
+	tQuest   // ?
+	tStar    // *
+	tPlus    // +
+	tEq      // =
+	tNe      // != or <>
+	tLt
+	tLe
+	tGt
+	tGe
+)
+
+var tokNames = map[tokKind]string{
+	tEOF: "end of query", tIdent: "identifier", tString: "string",
+	tInt: "integer", tReal: "real", tDot: ".", tComma: ",",
+	tLParen: "(", tRParen: ")", tPercent: "%", tHash: "#", tPipe: "|",
+	tQuest: "?", tStar: "*", tPlus: "+", tEq: "=", tNe: "!=",
+	tLt: "<", tLe: "<=", tGt: ">", tGe: ">=",
+}
+
+type token struct {
+	kind tokKind
+	text string // raw identifier/string/number text
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tIdent || t.kind == tString || t.kind == tInt || t.kind == tReal {
+		return fmt.Sprintf("%s %q", tokNames[t.kind], t.text)
+	}
+	return tokNames[t.kind]
+}

@@ -1,0 +1,241 @@
+package match
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/oem"
+)
+
+// tokenize splits a schema label into lowercase tokens on case changes,
+// digits, underscores and punctuation: "CytoPosition" -> [cyto position],
+// "locus_id" -> [locus id], "GN" -> [gn].
+func tokenize(label string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(label)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '.' || r == ':':
+			flush()
+		case unicode.IsUpper(r):
+			// Start a new token at a lower->upper boundary or at an
+			// upper->upper-lower boundary (handles "GOTerm" -> go term).
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(unicode.IsUpper(runes[i-1]) && i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// thesaurus groups label spellings that the bioinformatics domain treats as
+// the same concept — the "general knowledge of the domain" used when
+// constructing the global model. Each row is one concept.
+var thesaurus = [][]string{
+	{"symbol", "genesymbol", "gene", "gn", "genename"},
+	{"locusid", "locus", "ll", "locuslink", "dr", "xref", "geneid"},
+	{"organism", "os", "species", "taxon"},
+	{"description", "de", "definition", "title", "def", "name"},
+	{"position", "cytoposition", "cd", "location", "map", "cyto"},
+	{"mimnumber", "mim", "omim", "no", "mimid"},
+	{"weblink", "url", "link", "links", "web"},
+	{"goid", "go", "accession", "ac", "id"},
+	{"inheritance", "ih"},
+	{"keyword", "kw", "keywords"},
+	{"evidence", "ev"},
+	{"alias", "synonym", "aka"},
+	{"namespace", "ontology", "aspect"},
+}
+
+var conceptOf = func() map[string]int {
+	m := map[string]int{}
+	for i, row := range thesaurus {
+		for _, w := range row {
+			m[w] = i
+		}
+	}
+	return m
+}()
+
+// levenshtein returns the edit distance between two strings.
+func levenshtein(a, b string) int {
+	ar, br := []rune(a), []rune(b)
+	if len(ar) == 0 {
+		return len(br)
+	}
+	if len(br) == 0 {
+		return len(ar)
+	}
+	prev := make([]int, len(br)+1)
+	cur := make([]int, len(br)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ar); i++ {
+		cur[0] = i
+		for j := 1; j <= len(br); j++ {
+			costSub := prev[j-1]
+			if ar[i-1] != br[j-1] {
+				costSub++
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, costSub)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(br)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// digrams returns the character bigram multiset of a string.
+func digrams(s string) map[string]int {
+	out := map[string]int{}
+	r := []rune(s)
+	for i := 0; i+1 < len(r); i++ {
+		out[string(r[i:i+2])]++
+	}
+	return out
+}
+
+// diceCoefficient measures bigram overlap: 2|A∩B| / (|A|+|B|).
+func diceCoefficient(a, b string) float64 {
+	da, db := digrams(a), digrams(b)
+	if len(da) == 0 && len(db) == 0 {
+		return 1
+	}
+	inter, total := 0, 0
+	for g, ca := range da {
+		total += ca
+		if cb, ok := db[g]; ok {
+			if cb < ca {
+				inter += cb
+			} else {
+				inter += ca
+			}
+		}
+	}
+	for _, cb := range db {
+		total += cb
+	}
+	if total == 0 {
+		return 0
+	}
+	return 2 * float64(inter) / float64(total)
+}
+
+// NameSimilarity scores two labels in [0,1] combining thesaurus concepts,
+// token overlap, edit distance and bigram overlap.
+func NameSimilarity(a, b string) float64 {
+	if strings.EqualFold(a, b) {
+		return 1
+	}
+	ta, tb := tokenize(a), tokenize(b)
+	// Thesaurus: if any token pair maps to the same concept, the labels
+	// mean the same thing regardless of spelling.
+	concept := 0.0
+	for _, x := range ta {
+		ca, ok := conceptOf[x]
+		if !ok {
+			continue
+		}
+		for _, y := range tb {
+			if cb, ok := conceptOf[y]; ok && ca == cb {
+				concept = 0.9
+			}
+		}
+	}
+	// Also try the joined forms ("locus"+"id" -> locusid).
+	ja, jb := strings.Join(ta, ""), strings.Join(tb, "")
+	if ca, ok := conceptOf[ja]; ok {
+		if cb, ok := conceptOf[jb]; ok && ca == cb {
+			concept = 0.95
+		}
+	}
+	// Token Jaccard.
+	setA := map[string]bool{}
+	for _, x := range ta {
+		setA[x] = true
+	}
+	interN, unionN := 0, len(setA)
+	seenB := map[string]bool{}
+	for _, y := range tb {
+		if seenB[y] {
+			continue
+		}
+		seenB[y] = true
+		if setA[y] {
+			interN++
+		} else {
+			unionN++
+		}
+	}
+	jaccard := 0.0
+	if unionN > 0 {
+		jaccard = float64(interN) / float64(unionN)
+	}
+	// String-level measures on the joined forms.
+	maxLen := len(ja)
+	if len(jb) > maxLen {
+		maxLen = len(jb)
+	}
+	editSim := 0.0
+	if maxLen > 0 {
+		editSim = 1 - float64(levenshtein(ja, jb))/float64(maxLen)
+	}
+	dice := diceCoefficient(ja, jb)
+	// Blend: thesaurus dominates when it fires; otherwise a weighted mix.
+	mixed := 0.45*jaccard + 0.30*dice + 0.25*editSim
+	if concept > mixed {
+		return concept
+	}
+	return mixed
+}
+
+// TypeCompatibility scores how plausibly two OEM kinds hold the same
+// concept. Identical kinds score 1; convertible kinds score high; complex
+// vs atomic is nearly incompatible.
+func TypeCompatibility(a, b oem.Kind) float64 {
+	if a == b {
+		return 1
+	}
+	pair := func(x, y oem.Kind) bool { return (a == x && b == y) || (a == y && b == x) }
+	switch {
+	case pair(oem.KindInt, oem.KindReal):
+		return 0.9
+	case pair(oem.KindString, oem.KindURL):
+		return 0.8
+	case pair(oem.KindInt, oem.KindString), pair(oem.KindReal, oem.KindString):
+		return 0.6 // numeric ids are routinely stored as text
+	case pair(oem.KindBool, oem.KindString), pair(oem.KindBool, oem.KindInt):
+		return 0.4
+	case a == oem.KindComplex || b == oem.KindComplex:
+		return 0.05
+	default:
+		return 0.2
+	}
+}

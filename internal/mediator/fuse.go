@@ -1,0 +1,294 @@
+package mediator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gml"
+	"repro/internal/oem"
+)
+
+// fuse combines the per-source populations into one integrated OEM graph:
+//
+//	ANNODA-GML
+//	  Gene*        fused gene objects: reconciled attributes + links to
+//	               Annotation/Disease/Protein entities
+//	  Annotation*  translated GO annotations
+//	  Disease*     translated OMIM entries
+//	  Protein*     translated protein records (when ProtDB is plugged in)
+//
+// Gene–Annotation links join on canonical symbol; Gene–Disease links join
+// on GeneID with a symbol fallback; Gene–Protein on GeneID. Linked-entity
+// labels that describe the gene itself (linkContrib) feed reconciliation.
+func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Graph, error) {
+	g := oem.NewGraph()
+	root := g.NewComplex()
+	g.SetRoot("ANNODA-GML", root)
+
+	priority := map[string]int{}
+	for i, w := range m.reg.All() {
+		priority[w.Name()] = i
+	}
+
+	// ---- Pass 1: import gene entities and build fusion keys. ----
+	type fusedGene struct {
+		oid      oem.OID
+		key      string // canonical symbol
+		geneIDs  map[int64]bool
+		symbols  map[string]bool // canonical symbol + aliases
+		contribs map[string][]SourceValue
+		primary  string // contributing source
+	}
+	var genes []*fusedGene
+	byKey := map[string]*fusedGene{}
+	bySymbol := map[string]*fusedGene{}
+	byGeneID := map[int64]*fusedGene{}
+
+	for _, pop := range pops {
+		if pop.concept != "Gene" {
+			continue
+		}
+		for _, e := range pop.entities {
+			key := gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))
+			fg, exists := byKey[key]
+			if !exists {
+				fg = &fusedGene{
+					key:      key,
+					geneIDs:  map[int64]bool{},
+					symbols:  map[string]bool{},
+					contribs: map[string][]SourceValue{},
+					primary:  pop.source,
+				}
+				fg.oid = g.NewComplex()
+				byKey[key] = fg
+				genes = append(genes, fg)
+				if err := g.AddRef(root, "Gene", fg.oid); err != nil {
+					return nil, err
+				}
+			}
+			// Copy non-reconciled labels from the entity (first
+			// contributor wins for structure; atoms under reconciled
+			// labels become contributions instead).
+			eo := pop.graph.Get(e)
+			for _, ref := range eo.Refs {
+				if isReconciled(ref.Label) {
+					c := pop.graph.Get(ref.Target)
+					if c != nil && c.IsAtomic() {
+						fg.contribs[canonLabel(ref.Label)] = append(fg.contribs[canonLabel(ref.Label)],
+							SourceValue{Source: pop.source, Value: c.Value()})
+					}
+					continue
+				}
+				imported, err := g.Import(pop.graph, ref.Target)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.AddRef(fg.oid, ref.Label, imported); err != nil {
+					return nil, err
+				}
+			}
+			fg.symbols[key] = true
+			for _, a := range stringsUnder(pop.graph, e, "Alias") {
+				fg.symbols[gml.CanonicalSymbol(a)] = true
+			}
+			if id, ok := intUnder(pop.graph, e, "GeneID"); ok {
+				fg.geneIDs[id] = true
+			}
+		}
+	}
+	for _, fg := range genes {
+		for s := range fg.symbols {
+			bySymbol[s] = fg
+		}
+		for id := range fg.geneIDs {
+			byGeneID[id] = fg
+		}
+	}
+
+	// ---- Pass 2: import link-concept entities, link to genes, and ----
+	// ---- collect their gene-describing contributions.              ----
+	haveGenes := len(genes) > 0
+	for _, pop := range pops {
+		if pop.concept == "Gene" {
+			continue
+		}
+		for _, e := range pop.entities {
+			var owners []*fusedGene
+			switch pop.concept {
+			case "Annotation":
+				if fg := bySymbol[gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))]; fg != nil {
+					owners = append(owners, fg)
+				}
+			case "Disease":
+				seen := map[string]bool{}
+				for _, id := range intsUnder(pop.graph, e, "GeneID") {
+					if fg := byGeneID[id]; fg != nil && !seen[fg.key] {
+						seen[fg.key] = true
+						owners = append(owners, fg)
+					}
+				}
+				for _, s := range stringsUnder(pop.graph, e, "Symbol") {
+					if fg := bySymbol[gml.CanonicalSymbol(s)]; fg != nil && !seen[fg.key] {
+						seen[fg.key] = true
+						owners = append(owners, fg)
+					}
+				}
+			case "Protein":
+				if id, ok := intUnder(pop.graph, e, "GeneID"); ok {
+					if fg := byGeneID[id]; fg != nil {
+						owners = append(owners, fg)
+					}
+				} else if fg := bySymbol[gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))]; fg != nil {
+					owners = append(owners, fg)
+				}
+			}
+			// Semi-join: when the query only reaches this concept through
+			// gene links, unlinked entities are dead weight. They are still
+			// imported when the concept is queried directly.
+			direct := conceptQueriedDirectly(an, pop.concept)
+			if len(owners) == 0 && !direct && haveGenes && !m.opts.DisablePushdown {
+				continue
+			}
+			imported, err := g.Import(pop.graph, e)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddRef(root, pop.concept, imported); err != nil {
+				return nil, err
+			}
+			for _, fg := range owners {
+				if err := g.AddRef(fg.oid, pop.concept, imported); err != nil {
+					return nil, err
+				}
+				collectContribs(pop, e, fg.key, fg.geneIDs, fg.contribs, pop.concept)
+			}
+		}
+	}
+
+	// ---- Pass 3: reconcile gene attributes. ----
+	for _, fg := range genes {
+		for _, label := range reconciledLabels {
+			winners, conflict := reconcile(fg.key, label, fg.contribs[label], m.opts.Policy, priority)
+			if conflict != nil {
+				stats.Conflicts = append(stats.Conflicts, *conflict)
+			}
+			for _, w := range winners {
+				atom, err := g.NewAtom(w.Value)
+				if err != nil {
+					return nil, fmt.Errorf("mediator: reconcile %s.%s: %v", fg.key, label, err)
+				}
+				if err := g.AddRef(fg.oid, label, atom); err != nil {
+					return nil, err
+				}
+			}
+		}
+		g.SortRefs(fg.oid)
+	}
+	return g, g.Validate()
+}
+
+// collectContribs feeds a linked entity's gene-describing labels into the
+// gene's contribution sets, respecting attribution rules: a disease's
+// symbols/position describe a gene only when the attribution is
+// unambiguous (single-gene disease, or the gene is the entry's first
+// locus — our OMIM encodes the first locus's position).
+func collectContribs(pop *population, e oem.OID, geneKey string, geneIDs map[int64]bool, contribs map[string][]SourceValue, concept string) {
+	rules := linkContrib[concept]
+	for _, r := range rules {
+		switch {
+		case concept == "Disease" && r.From == "Symbol":
+			ids := intsUnder(pop.graph, e, "GeneID")
+			if len(ids) != 1 || !geneIDs[ids[0]] {
+				continue
+			}
+			for _, s := range stringsUnder(pop.graph, e, "Symbol") {
+				contribs[r.To] = append(contribs[r.To], SourceValue{Source: pop.source, Value: gml.CanonicalSymbol(s)})
+			}
+		case concept == "Disease" && r.From == "Position":
+			ids := intsUnder(pop.graph, e, "GeneID")
+			if len(ids) == 0 || !geneIDs[ids[0]] {
+				continue // position belongs to the first locus
+			}
+			if v := stringUnder(pop.graph, e, "Position"); v != "" {
+				contribs[r.To] = append(contribs[r.To], SourceValue{Source: pop.source, Value: v})
+			}
+		default:
+			for _, t := range pop.graph.Children(e, r.From) {
+				o := pop.graph.Get(t)
+				if o == nil || !o.IsAtomic() {
+					continue
+				}
+				v := o.Value()
+				if r.To == "Symbol" {
+					if s, ok := v.(string); ok {
+						v = gml.CanonicalSymbol(s)
+					}
+				}
+				contribs[r.To] = append(contribs[r.To], SourceValue{Source: pop.source, Value: v})
+			}
+		}
+	}
+}
+
+// isReconciled reports whether the label participates in reconciliation.
+// Symbol contributions are canonicalized so case-only differences do not
+// masquerade as conflicts.
+func isReconciled(label string) bool {
+	for _, l := range reconciledLabels {
+		if strings.EqualFold(l, label) {
+			return true
+		}
+	}
+	return false
+}
+
+func canonLabel(label string) string {
+	for _, l := range reconciledLabels {
+		if strings.EqualFold(l, label) {
+			return l
+		}
+	}
+	return label
+}
+
+func conceptQueriedDirectly(an *analysis, concept string) bool {
+	if an.needAll {
+		return true
+	}
+	for _, c := range an.fromConcepts {
+		if c == concept {
+			return true
+		}
+	}
+	return false
+}
+
+func stringUnder(g *oem.Graph, id oem.OID, label string) string {
+	return g.StringUnder(id, label)
+}
+
+func stringsUnder(g *oem.Graph, id oem.OID, label string) []string {
+	var out []string
+	for _, t := range g.Children(id, label) {
+		o := g.Get(t)
+		if o != nil && (o.Kind == oem.KindString || o.Kind == oem.KindURL) {
+			out = append(out, o.Str)
+		}
+	}
+	return out
+}
+
+func intUnder(g *oem.Graph, id oem.OID, label string) (int64, bool) {
+	return g.IntUnder(id, label)
+}
+
+func intsUnder(g *oem.Graph, id oem.OID, label string) []int64 {
+	var out []int64
+	for _, t := range g.Children(id, label) {
+		o := g.Get(t)
+		if o != nil && o.Kind == oem.KindInt {
+			out = append(out, o.Int)
+		}
+	}
+	return out
+}

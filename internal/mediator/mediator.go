@@ -1,0 +1,465 @@
+package mediator
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gml"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/wrapper"
+)
+
+// Options tunes the query manager; the Disable* switches exist for the E8
+// optimizer-ablation experiment.
+type Options struct {
+	// Policy selects conflict reconciliation (default PolicyPreferPrimary).
+	Policy Policy
+	// DisablePushdown turns off per-source predicate pre-filtering and
+	// semi-join link fetching.
+	DisablePushdown bool
+	// DisablePruning makes every mapped source participate in every query
+	// even when its concept cannot contribute.
+	DisablePruning bool
+	// Sequential turns off the parallel source fan-out.
+	Sequential bool
+	// Workers bounds the fan-out (default: GOMAXPROCS).
+	Workers int
+}
+
+// Stats reports how a query was executed — the observable effect of the
+// multi-system optimizer.
+type Stats struct {
+	SourcesQueried []string
+	SourcesPruned  []string
+	Fetched        map[string]int // entities translated, by source
+	Kept           map[string]int // entities surviving pushdown, by source
+	Conflicts      []Conflict
+	PushdownUsed   bool
+	Parallel       bool
+	FetchTime      time.Duration
+	FuseTime       time.Duration
+	EvalTime       time.Duration
+}
+
+// String summarizes the stats for explain output.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sources queried: %s\n", strings.Join(s.SourcesQueried, ", "))
+	if len(s.SourcesPruned) > 0 {
+		fmt.Fprintf(&sb, "sources pruned:  %s\n", strings.Join(s.SourcesPruned, ", "))
+	}
+	for _, src := range s.SourcesQueried {
+		fmt.Fprintf(&sb, "  %-10s fetched %d kept %d\n", src, s.Fetched[src], s.Kept[src])
+	}
+	fmt.Fprintf(&sb, "conflicts reconciled: %d\n", len(s.Conflicts))
+	fmt.Fprintf(&sb, "pushdown=%v parallel=%v fetch=%v fuse=%v eval=%v\n",
+		s.PushdownUsed, s.Parallel, s.FetchTime.Round(time.Microsecond),
+		s.FuseTime.Round(time.Microsecond), s.EvalTime.Round(time.Microsecond))
+	return sb.String()
+}
+
+// Manager is the ANNODA query manager (Figure 1's mediator box).
+type Manager struct {
+	reg  *wrapper.Registry
+	gl   *gml.Global
+	opts Options
+}
+
+// New builds a manager over a registry and its global model.
+func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{reg: reg, gl: gl, opts: opts}
+}
+
+// Global returns the global model the manager mediates for.
+func (m *Manager) Global() *gml.Global { return m.gl }
+
+// Registry returns the wrapper registry.
+func (m *Manager) Registry() *wrapper.Registry { return m.reg }
+
+// QueryString parses and runs a Lorel query phrased in the global
+// vocabulary (from clauses over ANNODA-GML.<Concept>).
+func (m *Manager) QueryString(src string) (*lorel.Result, *Stats, error) {
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.Query(q)
+}
+
+// Query decomposes, optimizes and executes a global Lorel query:
+//
+//  1. analyze which concepts the query touches (from clauses and link
+//     labels) — unneeded sources are pruned;
+//  2. fetch and translate each relevant source's entities in parallel,
+//     applying pushed-down single-variable predicates at the source;
+//  3. fuse the translated populations into one integrated OEM graph,
+//     linking genes to annotations/diseases/proteins and reconciling
+//     conflicting attribute values;
+//  4. evaluate the original query against the fused graph.
+func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
+	an, err := m.analyze(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
+
+	t0 := time.Now()
+	pops, err := m.fetch(an, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.FetchTime = time.Since(t0)
+
+	t1 := time.Now()
+	fused, err := m.fuse(an, pops, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.FuseTime = time.Since(t1)
+
+	t2 := time.Now()
+	res, err := lorel.Eval(fused, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.EvalTime = time.Since(t2)
+	return res, stats, nil
+}
+
+// FusedGraph builds and returns the full integrated graph (every concept,
+// no pushdown): the materialized "consistent view of annotation data".
+// Views and the navigation layer render from it.
+func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
+	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
+	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
+	pops, err := m.fetch(an, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := m.fuse(an, pops, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, stats, nil
+}
+
+// analysis is the query-shape information the optimizer needs.
+type analysis struct {
+	// fromConcepts: from-variable -> concept name ("" when not a simple
+	// ANNODA-GML.<Concept> clause).
+	fromConcepts map[string]string
+	// concepts that must be populated in the fused graph.
+	needed map[string]bool
+	// needAll: a wildcard path forces every concept in.
+	needAll bool
+	// pushdown: from-variable -> single-variable conjuncts safe to apply
+	// at the source.
+	pushdown map[string][]lorel.Cond
+}
+
+func (a *analysis) needs(concept string) bool { return a.needAll || a.needed[concept] }
+
+var conceptNames = map[string]string{
+	"gene": "Gene", "annotation": "Annotation", "disease": "Disease", "protein": "Protein",
+}
+
+// linkContrib declares which labels of a linked entity also describe the
+// gene itself; fusion feeds them into reconciliation.
+var linkContrib = map[string][]struct{ From, To string }{
+	"Disease":    {{From: "Symbol", To: "Symbol"}, {From: "Position", To: "Position"}},
+	"Annotation": {{From: "Organism", To: "Organism"}},
+	"Protein":    {{From: "Symbol", To: "Symbol"}, {From: "Organism", To: "Organism"}, {From: "Description", To: "Description"}},
+}
+
+// reconciledLabels are the gene attributes reconciliation applies to.
+var reconciledLabels = []string{"Symbol", "Organism", "Position", "Description"}
+
+func (m *Manager) analyze(q *lorel.Query) (*analysis, error) {
+	an := &analysis{
+		fromConcepts: map[string]string{},
+		needed:       map[string]bool{},
+		pushdown:     map[string][]lorel.Cond{},
+	}
+	vars := map[string]bool{}
+	for _, f := range q.From {
+		name := f.BindName()
+		vars[name] = true
+		if !strings.EqualFold(f.Path.Base, "ANNODA-GML") {
+			// Chained variable (e.g. "G.Annotation A"): no concept info.
+			if _, ok := vars[f.Path.Base]; !ok {
+				return nil, fmt.Errorf("mediator: from clause base %q is neither ANNODA-GML nor a bound variable", f.Path.Base)
+			}
+			an.fromConcepts[name] = ""
+			continue
+		}
+		concept := ""
+		if len(f.Path.Steps) >= 1 {
+			if l, ok := f.Path.Steps[0].(lorel.LabelStep); ok {
+				concept = conceptNames[strings.ToLower(l.Name)]
+			}
+		}
+		if concept == "" {
+			an.needAll = true
+		} else if len(f.Path.Steps) == 1 {
+			an.fromConcepts[name] = concept
+		}
+		noteConcept(an, concept)
+	}
+	// Scan every path in the query for link labels and wildcards.
+	paths := collectPaths(q)
+	for _, p := range paths {
+		for _, s := range p.Steps {
+			switch x := s.(type) {
+			case lorel.LabelStep:
+				if c, ok := conceptNames[strings.ToLower(x.Name)]; ok {
+					noteConcept(an, c)
+				}
+			case lorel.WildcardStep, lorel.AnyPathStep:
+				an.needAll = true
+			case lorel.GroupStep:
+				for _, alt := range x.Alternatives {
+					for _, st := range alt {
+						if l, ok := st.(lorel.LabelStep); ok {
+							if c, ok := conceptNames[strings.ToLower(l.Name)]; ok {
+								noteConcept(an, c)
+							}
+						} else {
+							an.needAll = true
+						}
+					}
+				}
+			}
+		}
+	}
+	// Pushdown classification. Sound only under PolicyPreferPrimary and
+	// only for non-optional attribute labels (see DESIGN.md); the final
+	// evaluation re-applies the full where clause regardless.
+	if !m.opts.DisablePushdown && m.opts.Policy == PolicyPreferPrimary {
+		for _, conj := range conjuncts(q.Where) {
+			ps := condPaths(conj)
+			var onVar string
+			ok := len(ps) > 0
+			for _, p := range ps {
+				concept := an.fromConcepts[p.Base]
+				if concept == "" {
+					ok = false
+					break
+				}
+				if onVar == "" {
+					onVar = p.Base
+				} else if onVar != p.Base {
+					ok = false
+					break
+				}
+				if !pushableSteps(m.gl, concept, p.Steps) {
+					ok = false
+					break
+				}
+			}
+			if ok && onVar != "" {
+				an.pushdown[onVar] = append(an.pushdown[onVar], conj)
+			}
+		}
+	}
+	return an, nil
+}
+
+func noteConcept(an *analysis, c string) {
+	if c != "" {
+		an.needed[c] = true
+	}
+}
+
+// pushableSteps reports whether a path suffix touches only non-optional
+// atomic attributes of the concept.
+func pushableSteps(gl *gml.Global, concept string, steps []lorel.Step) bool {
+	c := gl.ConceptByName(concept)
+	if c == nil || len(steps) != 1 {
+		return false
+	}
+	l, ok := steps[0].(lorel.LabelStep)
+	if !ok {
+		return false
+	}
+	for _, li := range c.Labels {
+		if strings.EqualFold(li.Name, l.Name) {
+			return !li.Optional && li.Kind != oem.KindComplex
+		}
+	}
+	return false
+}
+
+func conjuncts(c lorel.Cond) []lorel.Cond {
+	if a, ok := c.(lorel.AndCond); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	if c == nil {
+		return nil
+	}
+	return []lorel.Cond{c}
+}
+
+func condPaths(c lorel.Cond) []lorel.Path {
+	switch x := c.(type) {
+	case lorel.CmpCond:
+		var out []lorel.Path
+		if x.L.Path != nil {
+			out = append(out, *x.L.Path)
+		}
+		if x.R.Path != nil {
+			out = append(out, *x.R.Path)
+		}
+		return out
+	case lorel.ExistsCond:
+		return []lorel.Path{x.P}
+	case lorel.AndCond:
+		return append(condPaths(x.L), condPaths(x.R)...)
+	case lorel.OrCond:
+		return append(condPaths(x.L), condPaths(x.R)...)
+	case lorel.NotCond:
+		return condPaths(x.E)
+	}
+	return nil
+}
+
+func collectPaths(q *lorel.Query) []lorel.Path {
+	var out []lorel.Path
+	for _, s := range q.Select {
+		out = append(out, s.Path)
+	}
+	for _, f := range q.From {
+		out = append(out, f.Path)
+	}
+	out = append(out, condPathsAll(q.Where)...)
+	return out
+}
+
+func condPathsAll(c lorel.Cond) []lorel.Path { return condPaths(c) }
+
+// population is one source's translated (and possibly pre-filtered)
+// entities, in the source's own scratch graph.
+type population struct {
+	source       string
+	concept      string
+	graph        *oem.Graph
+	entities     []oem.OID
+	fetchedCount int
+}
+
+// fetch translates each relevant source in parallel.
+func (m *Manager) fetch(an *analysis, stats *Stats) ([]*population, error) {
+	type job struct {
+		mapping *gml.SourceMapping
+		w       wrapper.Wrapper
+	}
+	var jobs []job
+	for _, w := range m.reg.All() {
+		mp := m.gl.MappingFor(w.Name())
+		if mp == nil {
+			continue // registered but unmapped: cannot participate
+		}
+		if !m.opts.DisablePruning && !an.needs(mp.Concept) {
+			stats.SourcesPruned = append(stats.SourcesPruned, w.Name())
+			continue
+		}
+		stats.SourcesQueried = append(stats.SourcesQueried, w.Name())
+		jobs = append(jobs, job{mapping: mp, w: w})
+	}
+
+	// Pushdown conditions per concept (single from-variable per concept in
+	// the common case; merge all vars of that concept).
+	condsFor := map[string][]pushCond{}
+	for v, conds := range an.pushdown {
+		concept := an.fromConcepts[v]
+		for _, c := range conds {
+			condsFor[concept] = append(condsFor[concept], pushCond{v: v, c: c})
+		}
+	}
+
+	pops := make([]*population, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, m.opts.Workers)
+	run := func(i int, j job) {
+		defer wg.Done()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		pop, fetched, err := m.fetchOne(j.w, j.mapping, condsFor[j.mapping.Concept])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pops[i] = pop
+		// Stats maps are written after the wait below to stay race-free;
+		// stash counts on the population.
+		pop.fetchedCount = fetched
+	}
+	for i, j := range jobs {
+		wg.Add(1)
+		if m.opts.Sequential {
+			run(i, j)
+		} else {
+			go run(i, j)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mediator: source %s: %v", jobs[i].w.Name(), err)
+		}
+	}
+	for _, p := range pops {
+		stats.Fetched[p.source] = p.fetchedCount
+		stats.Kept[p.source] = len(p.entities)
+		if p.fetchedCount != len(p.entities) {
+			stats.PushdownUsed = true
+		}
+	}
+	return pops, nil
+}
+
+type pushCond struct {
+	v string
+	c lorel.Cond
+}
+
+func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pushCond) (*population, int, error) {
+	src, err := w.Model()
+	if err != nil {
+		return nil, 0, err
+	}
+	pop := &population{source: w.Name(), concept: mp.Concept, graph: oem.NewGraph()}
+	root := src.Root(w.Name())
+	fetched := 0
+	for _, e := range src.Children(root, mp.Entity) {
+		fetched++
+		te, err := gml.TranslateEntity(pop.graph, src, e, mp)
+		if err != nil {
+			return nil, 0, err
+		}
+		keep := true
+		for _, pc := range conds {
+			ok, err := lorel.EvalCond(pop.graph, map[string]oem.OID{pc.v: te}, pc.c)
+			if err != nil {
+				// Pushdown must never break a query; fall back to keeping
+				// the entity and let the final evaluation decide.
+				ok = true
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			pop.entities = append(pop.entities, te)
+		}
+	}
+	return pop, fetched, nil
+}

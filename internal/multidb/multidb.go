@@ -1,0 +1,178 @@
+// Package multidb implements the K2/Kleisli-style unmediated multidatabase
+// baseline (related-works approach 3, and the K2/Kleisli column of Table 1).
+//
+// "The users are allowed to construct complex queries that are evaluated
+// against multiple heterogeneous databases... [the system] provides the
+// format and access transparency, while it lacks the schema transparency
+// and reconciliation... only users who are familiar with the details of
+// the individual data sources can fully utilize the resource."
+//
+// Concretely: a Program names each source explicitly, writes each
+// sub-query in that source's NATIVE vocabulary (LocusLink's "Symbol" vs
+// GO's "GeneSymbol" vs OMIM's "GeneSymbol"/"Locus" — the user must know
+// which), and supplies hand-written Go code to combine the per-source
+// results. Nothing reconciles conflicting values.
+package multidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/wrapper"
+)
+
+// SourceQuery is one per-source sub-query in the source's own vocabulary.
+type SourceQuery struct {
+	Source string
+	Query  *lorel.Query
+}
+
+// Program is a user-written multidatabase program: sub-queries plus a
+// combination function. The combine step receives each source's raw result
+// and must do its own cross-source matching.
+type Program struct {
+	Queries []SourceQuery
+	Combine func(results map[string]*lorel.Result) (*oem.Graph, oem.OID, error)
+}
+
+// Run executes every sub-query against its source's OML model and hands
+// the raw results to the user's combine function.
+func Run(reg *wrapper.Registry, p Program) (*oem.Graph, oem.OID, error) {
+	results := make(map[string]*lorel.Result, len(p.Queries))
+	for _, sq := range p.Queries {
+		w := reg.Get(sq.Source)
+		if w == nil {
+			return nil, 0, fmt.Errorf("multidb: unknown source %q (the user must name sources correctly)", sq.Source)
+		}
+		g, err := w.Model()
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := lorel.Eval(g, sq.Query)
+		if err != nil {
+			return nil, 0, fmt.Errorf("multidb: %s: %v", sq.Source, err)
+		}
+		results[sq.Source] = r
+	}
+	if p.Combine == nil {
+		return nil, 0, fmt.Errorf("multidb: program has no combine function")
+	}
+	return p.Combine(results)
+}
+
+// Figure5bProgram is the hand-written program a K2/Kleisli user would need
+// for the paper's Figure 5(b) question. Compare its bulk — three native
+// sub-queries plus ~50 lines of joining code the user must get right,
+// including the "LL" prefix quirk of OMIM ids — against ANNODA's one-line
+// global Lorel query.
+func Figure5bProgram() Program {
+	return Program{
+		Queries: []SourceQuery{
+			{Source: "LocusLink", Query: lorel.MustParse(
+				`select L from LocusLink.Locus L`)},
+			{Source: "GO", Query: lorel.MustParse(
+				`select A from GO.Annotation A`)},
+			{Source: "OMIM", Query: lorel.MustParse(
+				`select E from OMIM.Entry E`)},
+		},
+		Combine: func(results map[string]*lorel.Result) (*oem.Graph, oem.OID, error) {
+			out := oem.NewGraph()
+			answer := out.NewComplex()
+			out.SetRoot("answer", answer)
+
+			// The user must know that GO keys annotations by (possibly
+			// lowercased) gene symbol...
+			goRes := results["GO"]
+			annotated := map[string]bool{}
+			for _, a := range goRes.Graph.Children(goRes.Answer, "A") {
+				sym := goRes.Graph.StringUnder(a, "GeneSymbol")
+				annotated[strings.ToUpper(sym)] = true
+			}
+			// ...and that OMIM references loci as "LL<id>" strings.
+			omRes := results["OMIM"]
+			diseased := map[int64]bool{}
+			for _, e := range omRes.Graph.Children(omRes.Answer, "E") {
+				for _, l := range omRes.Graph.Children(e, "Locus") {
+					o := omRes.Graph.Get(l)
+					if o == nil || o.Kind != oem.KindString {
+						continue
+					}
+					id, err := strconv.ParseInt(strings.TrimPrefix(o.Str, "LL"), 10, 64)
+					if err == nil {
+						diseased[id] = true
+					}
+				}
+			}
+			llRes := results["LocusLink"]
+			for _, l := range llRes.Graph.Children(llRes.Answer, "L") {
+				sym := llRes.Graph.StringUnder(l, "Symbol")
+				id, _ := llRes.Graph.IntUnder(l, "LocusID")
+				if !annotated[strings.ToUpper(sym)] || diseased[id] {
+					continue
+				}
+				imported, err := out.Import(llRes.Graph, l)
+				if err != nil {
+					return nil, 0, err
+				}
+				if err := out.AddRef(answer, "Gene", imported); err != nil {
+					return nil, 0, err
+				}
+			}
+			return out, answer, nil
+		},
+	}
+}
+
+// GenePositionsProgram gathers every position value the sources report for
+// a gene symbol — demonstrating that the baseline surfaces conflicting,
+// unreconciled values side by side ("No reconciliation of results").
+func GenePositionsProgram(symbol string) Program {
+	return Program{
+		Queries: []SourceQuery{
+			{Source: "LocusLink", Query: lorel.MustParse(
+				`select L from LocusLink.Locus L where L.Symbol = "` + symbol + `"`)},
+			{Source: "OMIM", Query: lorel.MustParse(
+				`select E from OMIM.Entry E`)},
+		},
+		Combine: func(results map[string]*lorel.Result) (*oem.Graph, oem.OID, error) {
+			out := oem.NewGraph()
+			answer := out.NewComplex()
+			out.SetRoot("answer", answer)
+			llRes := results["LocusLink"]
+			var locusIDs []int64
+			for _, l := range llRes.Graph.Children(llRes.Answer, "L") {
+				if pos := llRes.Graph.StringUnder(l, "Position"); pos != "" {
+					_ = out.AddRef(answer, "Position", out.NewString(pos))
+				}
+				if id, ok := llRes.Graph.IntUnder(l, "LocusID"); ok {
+					locusIDs = append(locusIDs, id)
+				}
+			}
+			omRes := results["OMIM"]
+			for _, e := range omRes.Graph.Children(omRes.Answer, "E") {
+				match := false
+				for _, l := range omRes.Graph.Children(e, "Locus") {
+					o := omRes.Graph.Get(l)
+					if o == nil {
+						continue
+					}
+					for _, id := range locusIDs {
+						if o.Str == fmt.Sprintf("LL%d", id) {
+							match = true
+						}
+					}
+				}
+				if !match {
+					continue
+				}
+				if pos := omRes.Graph.StringUnder(e, "CytoPosition"); pos != "" {
+					_ = out.AddRef(answer, "Position", out.NewString(pos))
+				}
+			}
+			return out, answer, nil
+		},
+	}
+}

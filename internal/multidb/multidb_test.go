@@ -1,0 +1,135 @@
+package multidb
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+	"repro/internal/sources/geneontology"
+	"repro/internal/sources/locuslink"
+	"repro/internal/sources/omim"
+	"repro/internal/wrapper"
+)
+
+func fixture(t testing.TB) (*datagen.Corpus, *wrapper.Registry) {
+	t.Helper()
+	c := datagen.Generate(datagen.Config{
+		Seed: 123, Genes: 50, GoTerms: 30, Diseases: 25,
+		ConflictRate: 0.35, MissingRate: 0.1,
+	})
+	ll, err := locuslink.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gos, err := geneontology.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := omim.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := wrapper.NewRegistry()
+	_ = reg.Add(wrapper.NewLocusLink(ll))
+	_ = reg.Add(wrapper.NewGeneOntology(gos))
+	_ = reg.Add(wrapper.NewOMIM(om))
+	return c, reg
+}
+
+func TestFigure5bProgramMatchesGroundTruth(t *testing.T) {
+	c, reg := fixture(t)
+	g, answer, err := Run(reg, Figure5bProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, oid := range g.Children(answer, "Gene") {
+		got = append(got, g.StringUnder(oid, "Symbol"))
+	}
+	sort.Strings(got)
+	var want []string
+	for _, id := range c.GenesWithGoButNotOMIM() {
+		want = append(want, c.GeneByID(id).Symbol)
+	}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNoReconciliationConflictsLeak(t *testing.T) {
+	c, reg := fixture(t)
+	// Pick a conflicting gene that is the first locus of one of its
+	// diseases — its OMIM position genuinely differs.
+	for _, id := range c.ConflictingGenes() {
+		g := c.GeneByID(id)
+		isFirst := false
+		for _, mim := range g.Diseases {
+			d := c.DiseaseByMIM(mim)
+			if len(d.Loci) > 0 && d.Loci[0] == id {
+				isFirst = true
+			}
+		}
+		if !isFirst {
+			continue
+		}
+		out, answer, err := Run(reg, GenePositionsProgram(g.Symbol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		positions := map[string]bool{}
+		for _, p := range out.Children(answer, "Position") {
+			positions[out.Get(p).Str] = true
+		}
+		if len(positions) < 2 {
+			t.Errorf("gene %d: expected conflicting positions to leak, got %v", id, positions)
+		}
+		return
+	}
+	t.Skip("no first-locus conflicting gene in corpus")
+}
+
+func TestUserMustKnowSourceDetails(t *testing.T) {
+	_, reg := fixture(t)
+	// Wrong source name: hard error, no schema transparency to save you.
+	_, _, err := Run(reg, Program{
+		Queries: []SourceQuery{{Source: "EntrezGene", Query: lorel.MustParse(`select X from EntrezGene.Locus X`)}},
+		Combine: func(map[string]*lorel.Result) (*oem.Graph, oem.OID, error) { return nil, 0, nil },
+	})
+	if err == nil {
+		t.Error("unknown source accepted")
+	}
+	// Global vocabulary against a native source: parses, runs, silently
+	// finds nothing — the classic unmediated-multidatabase failure mode.
+	g, answer, err := Run(reg, Program{
+		Queries: []SourceQuery{{Source: "OMIM", Query: lorel.MustParse(
+			`select E from OMIM.Entry E where E.Position = "19q13"`)}}, // native label is CytoPosition
+		Combine: func(results map[string]*lorel.Result) (*oem.Graph, oem.OID, error) {
+			r := results["OMIM"]
+			return r.Graph, r.Answer, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Get(answer).Refs); n != 0 {
+		t.Errorf("global-vocabulary query should silently miss, got %d", n)
+	}
+}
+
+func TestProgramWithoutCombineFails(t *testing.T) {
+	_, reg := fixture(t)
+	_, _, err := Run(reg, Program{Queries: []SourceQuery{
+		{Source: "OMIM", Query: lorel.MustParse(`select E from OMIM.Entry E`)},
+	}})
+	if err == nil {
+		t.Error("missing combine accepted")
+	}
+}

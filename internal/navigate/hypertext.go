@@ -1,0 +1,123 @@
+package navigate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sources/geneontology"
+	"repro/internal/sources/locuslink"
+	"repro/internal/sources/omim"
+)
+
+// Hypertext is the indexed-data-sources baseline (Entrez/SRS style,
+// related-works approach 1): each source is queried separately and the user
+// (or a script) chases cross-links by hand. It "achieves a basic level of
+// integration with minimal effort; however, it neither provides a mechanism
+// to directly integrate data from relational databases nor to perform data
+// cleansing" — so GeneCard returns raw per-source values, conflicts and
+// all, and reports how many round trips the chase cost.
+type Hypertext struct {
+	LL *locuslink.DB
+	GO *geneontology.Store
+	OM *omim.Store
+}
+
+// Card is the hand-assembled result of a link chase for one gene.
+type Card struct {
+	Symbol     string
+	LocusID    int
+	Organism   string
+	Positions  []string // every position encountered, unreconciled
+	GoTerms    []string
+	MimNumbers []int
+	RoundTrips int
+}
+
+// GeneCard chases links starting from a gene symbol: LocusLink first, then
+// one round trip per cross-link. Returns nil when the symbol is unknown.
+func (h *Hypertext) GeneCard(symbol string) *Card {
+	card := &Card{Symbol: symbol}
+	card.RoundTrips++ // LocusLink query
+	loci := h.LL.BySymbol(symbol)
+	if len(loci) == 0 {
+		return nil
+	}
+	l := loci[0]
+	card.LocusID = l.LocusID
+	card.Organism = l.Organism
+	card.Positions = append(card.Positions, l.Position)
+	for _, lk := range l.Links {
+		card.RoundTrips++ // each link is one more fetch
+		switch lk.TargetDB {
+		case "GO":
+			if t := h.GO.Term(lk.TargetID); t != nil {
+				card.GoTerms = append(card.GoTerms, t.ID+" "+t.Name)
+			}
+		case "OMIM":
+			var mim int
+			fmt.Sscanf(lk.TargetID, "%d", &mim)
+			if e := h.OM.ByMIM(mim); e != nil {
+				card.MimNumbers = append(card.MimNumbers, e.MIM)
+				// The OMIM page shows its own position; the user sees both
+				// values with no reconciliation.
+				if e.Position != "" && !contains(card.Positions, e.Position) {
+					card.Positions = append(card.Positions, e.Position)
+				}
+			}
+		}
+	}
+	sort.Strings(card.GoTerms)
+	sort.Ints(card.MimNumbers)
+	return card
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// AnswerFigure5b answers the paper's Figure 5(b) question by brute-force
+// link chasing: every gene needs its own chain of round trips. This is what
+// "automated large-scale analysis" looks like without a mediator.
+func (h *Hypertext) AnswerFigure5b() (symbols []string, roundTrips int) {
+	h.LL.Scan(func(l *locuslink.Locus) bool {
+		roundTrips++ // fetch the locus page
+		hasGO, hasOMIM := false, false
+		for _, lk := range l.Links {
+			roundTrips++ // fetch the linked page to confirm it resolves
+			switch lk.TargetDB {
+			case "GO":
+				if h.GO.Term(lk.TargetID) != nil {
+					hasGO = true
+				}
+			case "OMIM":
+				var mim int
+				fmt.Sscanf(lk.TargetID, "%d", &mim)
+				if h.OM.ByMIM(mim) != nil {
+					hasOMIM = true
+				}
+			}
+		}
+		if hasGO && !hasOMIM {
+			symbols = append(symbols, l.Symbol)
+		}
+		return true
+	})
+	sort.Strings(symbols)
+	return symbols, roundTrips
+}
+
+// String renders a card for display.
+func (c *Card) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (locus %d, %s)\n", c.Symbol, c.LocusID, c.Organism)
+	fmt.Fprintf(&sb, "  positions: %s\n", strings.Join(c.Positions, " | "))
+	fmt.Fprintf(&sb, "  GO: %d terms, OMIM: %d entries, %d round trips\n",
+		len(c.GoTerms), len(c.MimNumbers), c.RoundTrips)
+	return sb.String()
+}

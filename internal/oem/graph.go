@@ -1,0 +1,506 @@
+package oem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is an OEM database: a set of objects addressed by oid plus a list of
+// named roots (entry points). ANNODA keeps one Graph per wrapped source (the
+// ANNODA-OML local models), one for the global model (ANNODA-GML), and one
+// per query answer.
+//
+// A Graph is safe for concurrent readers. Mutating methods (New*, AddRef,
+// SetRoot, Import) take the write lock; the mediator only mutates answer
+// graphs it owns exclusively, so source graphs can be queried in parallel.
+type Graph struct {
+	mu      sync.RWMutex
+	next    OID
+	objects map[OID]*Object
+	roots   []Root
+
+	// parents is a lazily built reverse-edge index used by navigation and
+	// invalidated by any mutation.
+	parents map[OID][]Edge
+}
+
+// Root is a named entry point into the graph, e.g. ("LocusLink", &1) or the
+// "answer" object of a query result.
+type Root struct {
+	Name string
+	OID  OID
+}
+
+// Edge is a labelled edge with an explicit source, used by reverse lookups.
+type Edge struct {
+	From  OID
+	Label string
+	To    OID
+}
+
+// NewGraph returns an empty graph whose first allocated oid will be &1.
+func NewGraph() *Graph {
+	return &Graph{next: 1, objects: make(map[OID]*Object)}
+}
+
+// Len returns the number of objects in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.objects)
+}
+
+// Get returns the object with the given oid, or nil if absent.
+func (g *Graph) Get(id OID) *Object {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.objects[id]
+}
+
+// KindOf returns the kind of the object with the given oid, or KindInvalid.
+func (g *Graph) KindOf(id OID) Kind {
+	if o := g.Get(id); o != nil {
+		return o.Kind
+	}
+	return KindInvalid
+}
+
+// OIDs returns all oids in ascending order. Intended for deterministic
+// iteration in tests and codecs.
+func (g *Graph) OIDs() []OID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]OID, 0, len(g.objects))
+	for id := range g.objects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (g *Graph) alloc(kind Kind) *Object {
+	o := &Object{ID: g.next, Kind: kind}
+	g.objects[g.next] = o
+	g.next++
+	g.parents = nil
+	return o
+}
+
+// NewInt creates an integer atom and returns its oid.
+func (g *Graph) NewInt(v int64) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindInt)
+	o.Int = v
+	return o.ID
+}
+
+// NewReal creates a real atom and returns its oid.
+func (g *Graph) NewReal(v float64) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindReal)
+	o.Real = v
+	return o.ID
+}
+
+// NewString creates a string atom and returns its oid.
+func (g *Graph) NewString(v string) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindString)
+	o.Str = v
+	return o.ID
+}
+
+// NewBool creates a boolean atom and returns its oid.
+func (g *Graph) NewBool(v bool) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindBool)
+	o.Bool = v
+	return o.ID
+}
+
+// NewURL creates a url atom (a web-link) and returns its oid.
+func (g *Graph) NewURL(v string) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindURL)
+	o.Str = v
+	return o.ID
+}
+
+// NewGif creates a gif atom holding an opaque binary payload. The payload is
+// copied.
+func (g *Graph) NewGif(raw []byte) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindGif)
+	o.Raw = append([]byte(nil), raw...)
+	return o.ID
+}
+
+// NewAtom creates an atom from an untyped Go value (int, int64, float64,
+// string, bool, []byte). Strings beginning with "http://" or "https://"
+// become url atoms.
+func (g *Graph) NewAtom(v any) (OID, error) {
+	switch x := v.(type) {
+	case int:
+		return g.NewInt(int64(x)), nil
+	case int64:
+		return g.NewInt(x), nil
+	case float64:
+		return g.NewReal(x), nil
+	case string:
+		if isURLString(x) {
+			return g.NewURL(x), nil
+		}
+		return g.NewString(x), nil
+	case bool:
+		return g.NewBool(x), nil
+	case []byte:
+		return g.NewGif(x), nil
+	}
+	return 0, fmt.Errorf("oem: cannot make atom from %T", v)
+}
+
+func isURLString(s string) bool {
+	return len(s) > 7 && (s[:7] == "http://" || (len(s) > 8 && s[:8] == "https://"))
+}
+
+// NewComplex creates a complex object with the given references (which may
+// be empty) and returns its oid. Referenced oids need not exist yet; call
+// Validate to check integrity once construction finishes.
+func (g *Graph) NewComplex(refs ...Ref) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.alloc(KindComplex)
+	o.Refs = append(o.Refs, refs...)
+	return o.ID
+}
+
+// AddRef appends a (label, target) reference to an existing complex object.
+func (g *Graph) AddRef(parent OID, label string, target OID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.objects[parent]
+	if o == nil {
+		return fmt.Errorf("oem: AddRef: no object %v", parent)
+	}
+	if o.Kind != KindComplex {
+		return fmt.Errorf("oem: AddRef: %v is %v, not complex", parent, o.Kind)
+	}
+	o.Refs = append(o.Refs, Ref{Label: label, Target: target})
+	g.parents = nil
+	return nil
+}
+
+// RemoveRefs deletes every reference under the given label from the parent
+// object and returns how many were removed.
+func (g *Graph) RemoveRefs(parent OID, label string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.objects[parent]
+	if o == nil || o.Kind != KindComplex {
+		return 0
+	}
+	kept := o.Refs[:0]
+	removed := 0
+	for _, r := range o.Refs {
+		if r.Label == label {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	o.Refs = kept
+	if removed > 0 {
+		g.parents = nil
+	}
+	return removed
+}
+
+// SetRoot registers (or replaces) a named root.
+func (g *Graph) SetRoot(name string, id OID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.roots {
+		if g.roots[i].Name == name {
+			g.roots[i].OID = id
+			return
+		}
+	}
+	g.roots = append(g.roots, Root{Name: name, OID: id})
+}
+
+// Root returns the oid registered under name, or 0 if absent.
+func (g *Graph) Root(name string) OID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.roots {
+		if r.Name == name {
+			return r.OID
+		}
+	}
+	return 0
+}
+
+// Roots returns the registered roots in registration order.
+func (g *Graph) Roots() []Root {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]Root(nil), g.roots...)
+}
+
+// Children returns the target oids of edges labelled label leaving id.
+func (g *Graph) Children(id OID, label string) []OID {
+	return g.Get(id).RefTargets(label)
+}
+
+// Child returns the first child under label, or 0.
+func (g *Graph) Child(id OID, label string) OID {
+	if ts := g.Children(id, label); len(ts) > 0 {
+		return ts[0]
+	}
+	return 0
+}
+
+// AtomUnder returns the untyped value of the first atomic child under label,
+// or nil if there is none.
+func (g *Graph) AtomUnder(id OID, label string) any {
+	c := g.Get(g.Child(id, label))
+	if c == nil || !c.IsAtomic() {
+		return nil
+	}
+	return c.Value()
+}
+
+// StringUnder returns the string value of the first string/url child under
+// label, or "".
+func (g *Graph) StringUnder(id OID, label string) string {
+	c := g.Get(g.Child(id, label))
+	if c == nil {
+		return ""
+	}
+	if c.Kind == KindString || c.Kind == KindURL {
+		return c.Str
+	}
+	return ""
+}
+
+// IntUnder returns the integer value of the first integer child under label
+// and whether one exists.
+func (g *Graph) IntUnder(id OID, label string) (int64, bool) {
+	c := g.Get(g.Child(id, label))
+	if c == nil || c.Kind != KindInt {
+		return 0, false
+	}
+	return c.Int, true
+}
+
+// Parents returns the labelled in-edges of id. The reverse index is built on
+// first use and cached until the next mutation.
+func (g *Graph) Parents(id OID) []Edge {
+	g.mu.Lock()
+	if g.parents == nil {
+		g.parents = make(map[OID][]Edge)
+		for from, o := range g.objects {
+			for _, r := range o.Refs {
+				g.parents[r.Target] = append(g.parents[r.Target], Edge{From: from, Label: r.Label, To: r.Target})
+			}
+		}
+		for _, es := range g.parents {
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].From != es[j].From {
+					return es[i].From < es[j].From
+				}
+				return es[i].Label < es[j].Label
+			})
+		}
+	}
+	out := g.parents[id]
+	g.mu.Unlock()
+	return out
+}
+
+// Reachable returns the set of oids reachable from start (inclusive)
+// following references.
+func (g *Graph) Reachable(start OID) map[OID]bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[OID]bool)
+	stack := []OID{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		o := g.objects[id]
+		if o == nil {
+			continue
+		}
+		seen[id] = true
+		for _, r := range o.Refs {
+			if !seen[r.Target] {
+				stack = append(stack, r.Target)
+			}
+		}
+	}
+	return seen
+}
+
+// Validate checks graph integrity: every reference targets an existing
+// object and every root exists. It returns the first problem found.
+func (g *Graph) Validate() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for id, o := range g.objects {
+		if o.ID != id {
+			return fmt.Errorf("oem: object stored at %v has ID %v", id, o.ID)
+		}
+		for _, r := range o.Refs {
+			if _, ok := g.objects[r.Target]; !ok {
+				return fmt.Errorf("oem: dangling reference %v -%s-> %v", id, r.Label, r.Target)
+			}
+		}
+		if o.Kind != KindComplex && len(o.Refs) > 0 {
+			return fmt.Errorf("oem: atomic object %v has references", id)
+		}
+	}
+	for _, r := range g.roots {
+		if _, ok := g.objects[r.OID]; !ok {
+			return fmt.Errorf("oem: root %q -> %v does not exist", r.Name, r.OID)
+		}
+	}
+	return nil
+}
+
+// Import copies the subgraph rooted at srcRoot in src into g, allocating
+// fresh oids, and returns the oid of the copied root. Shared substructure is
+// copied once (object identity within the imported subgraph is preserved).
+// Cycles are handled.
+func (g *Graph) Import(src *Graph, srcRoot OID) (OID, error) {
+	if src == g {
+		return srcRoot, nil
+	}
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	remap := make(map[OID]OID)
+	var walk func(OID) (OID, error)
+	walk = func(id OID) (OID, error) {
+		if mapped, ok := remap[id]; ok {
+			return mapped, nil
+		}
+		so := src.objects[id]
+		if so == nil {
+			return 0, fmt.Errorf("oem: Import: no object %v in source graph", id)
+		}
+		no := g.alloc(so.Kind)
+		remap[id] = no.ID
+		switch so.Kind {
+		case KindInt:
+			no.Int = so.Int
+		case KindReal:
+			no.Real = so.Real
+		case KindString, KindURL:
+			no.Str = so.Str
+		case KindBool:
+			no.Bool = so.Bool
+		case KindGif:
+			no.Raw = append([]byte(nil), so.Raw...)
+		case KindComplex:
+			for _, r := range so.Refs {
+				t, err := walk(r.Target)
+				if err != nil {
+					return 0, err
+				}
+				no.Refs = append(no.Refs, Ref{Label: r.Label, Target: t})
+			}
+		}
+		return no.ID, nil
+	}
+	return walk(srcRoot)
+}
+
+// DeepEqual reports whether the subgraphs rooted at a (in ga) and b (in gb)
+// carry the same values and structure, ignoring oids. References are
+// compared in order. Cycles terminate via a pair memo.
+func DeepEqual(ga *Graph, a OID, gb *Graph, b OID) bool {
+	type pair struct{ a, b OID }
+	seen := make(map[pair]bool)
+	var eq func(a, b OID) bool
+	eq = func(a, b OID) bool {
+		p := pair{a, b}
+		if seen[p] {
+			return true // already being compared along this path: assume equal
+		}
+		seen[p] = true
+		oa, ob := ga.Get(a), gb.Get(b)
+		if oa == nil || ob == nil {
+			return oa == ob
+		}
+		if oa.Kind != ob.Kind {
+			return false
+		}
+		switch oa.Kind {
+		case KindInt:
+			return oa.Int == ob.Int
+		case KindReal:
+			return oa.Real == ob.Real
+		case KindString, KindURL:
+			return oa.Str == ob.Str
+		case KindBool:
+			return oa.Bool == ob.Bool
+		case KindGif:
+			return string(oa.Raw) == string(ob.Raw)
+		case KindComplex:
+			if len(oa.Refs) != len(ob.Refs) {
+				return false
+			}
+			for i := range oa.Refs {
+				if oa.Refs[i].Label != ob.Refs[i].Label {
+					return false
+				}
+				if !eq(oa.Refs[i].Target, ob.Refs[i].Target) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return eq(a, b)
+}
+
+// Stats summarizes a graph for diagnostics.
+type Stats struct {
+	Objects int
+	Atoms   int
+	Complex int
+	Edges   int
+	Roots   int
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var s Stats
+	s.Objects = len(g.objects)
+	s.Roots = len(g.roots)
+	for _, o := range g.objects {
+		if o.Kind == KindComplex {
+			s.Complex++
+			s.Edges += len(o.Refs)
+		} else {
+			s.Atoms++
+		}
+	}
+	return s
+}

@@ -1,0 +1,338 @@
+package oem
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual OEM notation of the paper's Figure 3.
+//
+// Each line shows label, object oid, object type, and (for atoms) the object
+// value:
+//
+//	LocusLink &1 complex
+//	  LocusID &2 integer 1234
+//	  Organism &3 string "Homo sapiens"
+//	  Links &7 complex
+//	    GO &8 url "http://www.geneontology.org/GO:0005515"
+//
+// "If the object is complex, and has not been described earlier, subsequent
+// indented lines describe its object references" — so the first occurrence
+// of a complex oid expands its children; later occurrences print only the
+// reference line. That makes the format a faithful, round-trippable
+// serialization of shared (DAG/cyclic) structure.
+
+const indentUnit = "  "
+
+// EncodeText writes the subgraphs reachable from the graph's roots in
+// Figure 3 notation. Roots are emitted in registration order; each root line
+// uses the root's name as its label.
+func EncodeText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[OID]bool)
+	for _, r := range g.Roots() {
+		if err := encodeObject(bw, g, r.Name, r.OID, 0, seen); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeTextFrom writes a single subgraph rooted at id, labelling the root
+// line with label.
+func EncodeTextFrom(w io.Writer, g *Graph, label string, id OID) error {
+	bw := bufio.NewWriter(w)
+	if err := encodeObject(bw, g, label, id, 0, make(map[OID]bool)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// TextString renders a subgraph as a string; convenience over EncodeTextFrom.
+func TextString(g *Graph, label string, id OID) string {
+	var sb strings.Builder
+	_ = EncodeTextFrom(&sb, g, label, id)
+	return sb.String()
+}
+
+func encodeObject(w *bufio.Writer, g *Graph, label string, id OID, depth int, seen map[OID]bool) error {
+	o := g.Get(id)
+	if o == nil {
+		return fmt.Errorf("oem: encode: no object %v", id)
+	}
+	for i := 0; i < depth; i++ {
+		if _, err := w.WriteString(indentUnit); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s %s", sanitizeLabel(label), o.ID, o.Kind); err != nil {
+		return err
+	}
+	switch o.Kind {
+	case KindComplex:
+		if seen[id] {
+			// Previously described: reference only.
+			_, err := w.WriteString("\n")
+			return err
+		}
+		seen[id] = true
+		if _, err := w.WriteString("\n"); err != nil {
+			return err
+		}
+		for _, r := range o.Refs {
+			if err := encodeObject(w, g, r.Label, r.Target, depth+1, seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KindGif:
+		_, err := fmt.Fprintf(w, " %s\n", base64.StdEncoding.EncodeToString(o.Raw))
+		return err
+	default:
+		_, err := fmt.Fprintf(w, " %s\n", o.AtomString())
+		return err
+	}
+}
+
+func sanitizeLabel(label string) string {
+	if label == "" {
+		return "_"
+	}
+	if strings.ContainsAny(label, " \t\n&") {
+		return strconv.Quote(label)
+	}
+	return label
+}
+
+// DecodeText parses Figure 3 notation into a fresh graph, preserving the
+// oids that appear in the text. Every top-level (unindented) object becomes
+// a root named by its label.
+func DecodeText(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	type frame struct {
+		id    OID
+		depth int
+	}
+	var stack []frame
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	defined := make(map[OID]bool)
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		depth, rest, err := measureIndent(raw)
+		if err != nil {
+			return nil, fmt.Errorf("oem: decode line %d: %v", lineNo, err)
+		}
+		label, id, kind, valTok, err := parseLine(rest)
+		if err != nil {
+			return nil, fmt.Errorf("oem: decode line %d: %v", lineNo, err)
+		}
+		// Pop frames deeper or equal to current depth.
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if depth > 0 && len(stack) == 0 {
+			return nil, fmt.Errorf("oem: decode line %d: indented line without parent", lineNo)
+		}
+		if depth > 0 && stack[len(stack)-1].depth != depth-1 {
+			return nil, fmt.Errorf("oem: decode line %d: indentation jumps from %d to %d", lineNo, stack[len(stack)-1].depth, depth)
+		}
+
+		existing := g.getRaw(id)
+		if existing != nil {
+			// Re-reference of an already-seen object; kinds must agree.
+			if existing.Kind != kind {
+				return nil, fmt.Errorf("oem: decode line %d: %v re-declared as %v (was %v)", lineNo, id, kind, existing.Kind)
+			}
+		} else {
+			o := &Object{ID: id, Kind: kind}
+			switch kind {
+			case KindInt:
+				v, err := strconv.ParseInt(valTok, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("oem: decode line %d: bad integer %q", lineNo, valTok)
+				}
+				o.Int = v
+			case KindReal:
+				v, err := strconv.ParseFloat(valTok, 64)
+				if err != nil {
+					return nil, fmt.Errorf("oem: decode line %d: bad real %q", lineNo, valTok)
+				}
+				o.Real = v
+			case KindString, KindURL:
+				v, err := strconv.Unquote(valTok)
+				if err != nil {
+					return nil, fmt.Errorf("oem: decode line %d: bad string %q", lineNo, valTok)
+				}
+				o.Str = v
+			case KindBool:
+				v, err := strconv.ParseBool(valTok)
+				if err != nil {
+					return nil, fmt.Errorf("oem: decode line %d: bad boolean %q", lineNo, valTok)
+				}
+				o.Bool = v
+			case KindGif:
+				raw, err := base64.StdEncoding.DecodeString(valTok)
+				if err != nil {
+					return nil, fmt.Errorf("oem: decode line %d: bad gif payload", lineNo)
+				}
+				o.Raw = raw
+			case KindComplex:
+				if valTok != "" {
+					return nil, fmt.Errorf("oem: decode line %d: complex object with inline value", lineNo)
+				}
+			}
+			g.putRaw(o)
+		}
+
+		if depth == 0 {
+			g.SetRoot(label, id)
+		} else {
+			parent := stack[len(stack)-1].id
+			if err := g.AddRef(parent, label, id); err != nil {
+				return nil, fmt.Errorf("oem: decode line %d: %v", lineNo, err)
+			}
+		}
+		if kind == KindComplex {
+			// Only the first (defining) occurrence opens a scope for
+			// children; repeated references must not re-open it, otherwise
+			// children would be appended twice.
+			if !defined[id] {
+				defined[id] = true
+				stack = append(stack, frame{id: id, depth: depth})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// getRaw/putRaw bypass allocation so the decoder can preserve textual oids.
+func (g *Graph) getRaw(id OID) *Object {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.objects[id]
+}
+
+func (g *Graph) putRaw(o *Object) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.objects[o.ID] = o
+	if o.ID >= g.next {
+		g.next = o.ID + 1
+	}
+	g.parents = nil
+}
+
+func measureIndent(line string) (depth int, rest string, err error) {
+	i := 0
+	for i < len(line) {
+		if strings.HasPrefix(line[i:], indentUnit) {
+			depth++
+			i += len(indentUnit)
+			continue
+		}
+		if line[i] == '\t' {
+			depth++
+			i++
+			continue
+		}
+		if line[i] == ' ' {
+			return 0, "", fmt.Errorf("odd indentation (lone space)")
+		}
+		break
+	}
+	return depth, line[i:], nil
+}
+
+// parseLine splits `label &oid kind [value]`. Labels may be quoted.
+func parseLine(s string) (label string, id OID, kind Kind, val string, err error) {
+	s = strings.TrimSpace(s)
+	// Label (possibly quoted).
+	if strings.HasPrefix(s, `"`) {
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", 0, 0, "", fmt.Errorf("unterminated quoted label")
+		}
+		label, err = strconv.Unquote(s[:end+1])
+		if err != nil {
+			return "", 0, 0, "", fmt.Errorf("bad quoted label: %v", err)
+		}
+		s = strings.TrimSpace(s[end+1:])
+	} else {
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return "", 0, 0, "", fmt.Errorf("missing oid")
+		}
+		label = s[:sp]
+		s = strings.TrimSpace(s[sp:])
+	}
+	if !strings.HasPrefix(s, "&") {
+		return "", 0, 0, "", fmt.Errorf("expected &oid, got %q", s)
+	}
+	sp := strings.IndexAny(s, " \t")
+	var oidTok string
+	if sp < 0 {
+		oidTok, s = s, ""
+	} else {
+		oidTok, s = s[:sp], strings.TrimSpace(s[sp:])
+	}
+	n, err := strconv.ParseUint(oidTok[1:], 10, 64)
+	if err != nil || n == 0 {
+		return "", 0, 0, "", fmt.Errorf("bad oid %q", oidTok)
+	}
+	id = OID(n)
+	if s == "" {
+		return "", 0, 0, "", fmt.Errorf("missing kind")
+	}
+	sp = strings.IndexAny(s, " \t")
+	var kindTok string
+	if sp < 0 {
+		kindTok, s = s, ""
+	} else {
+		kindTok, s = s[:sp], strings.TrimSpace(s[sp:])
+	}
+	kind, err = ParseKind(kindTok)
+	if err != nil {
+		return "", 0, 0, "", err
+	}
+	return label, id, kind, s, nil
+}
+
+// SortRefs orders a complex object's references by label then target oid.
+// Wrappers use it to make OML exports deterministic.
+func (g *Graph) SortRefs(id OID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.objects[id]
+	if o == nil || o.Kind != KindComplex {
+		return
+	}
+	sort.SliceStable(o.Refs, func(i, j int) bool {
+		if o.Refs[i].Label != o.Refs[j].Label {
+			return o.Refs[i].Label < o.Refs[j].Label
+		}
+		return o.Refs[i].Target < o.Refs[j].Target
+	})
+}

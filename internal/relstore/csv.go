@@ -1,0 +1,126 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV snapshots serialize a table to a stream and back. The first record is
+// a typed header ("name:type[:key][:null]"), so a snapshot is
+// self-describing and can be restored into an empty database. The warehouse
+// baseline uses snapshots for its archival feature (GUS's "archiving of data
+// supported" row in Table 1).
+
+// DumpCSV writes the table as a typed-header CSV.
+func (t *Table) DumpCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	s := t.Schema()
+	header := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		h := c.Name + ":" + c.Type.String()
+		if strings.EqualFold(s.Key, c.Name) {
+			h += ":key"
+		} else if c.Nullable {
+			h += ":null"
+		}
+		header[i] = h
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var scanErr error
+	t.Scan(func(_ RowID, r Row) bool {
+		rec := make([]string, len(r))
+		for i, v := range r {
+			if v.IsNull() {
+				rec[i] = "\x00NULL"
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV creates a table named name in db from a typed-header CSV stream.
+func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relstore: csv: %v", err)
+	}
+	s := Schema{Name: name}
+	for _, h := range header {
+		parts := strings.Split(h, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("relstore: csv: bad header field %q", h)
+		}
+		ct, err := ParseColType(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		col := Column{Name: parts[0], Type: ct}
+		for _, flag := range parts[2:] {
+			switch flag {
+			case "key":
+				s.Key = parts[0]
+			case "null":
+				col.Nullable = true
+			}
+		}
+		if !strings.EqualFold(s.Key, col.Name) && !col.Nullable {
+			// Columns without an explicit flag were non-nullable at dump
+			// time only if they were the key; default to nullable to be
+			// permissive on load.
+			col.Nullable = true
+		}
+		if strings.EqualFold(s.Key, col.Name) {
+			col.Nullable = false
+		}
+		s.Columns = append(s.Columns, col)
+	}
+	t, err := db.Create(s)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: csv: %v", err)
+		}
+		if len(rec) != len(s.Columns) {
+			return nil, fmt.Errorf("relstore: csv: record has %d fields, want %d", len(rec), len(s.Columns))
+		}
+		row := make(Row, len(rec))
+		for i, f := range rec {
+			if f == "\x00NULL" {
+				row[i] = Null
+				continue
+			}
+			v, err := Coerce(Text(f), s.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: csv: row value %q: %v", f, err)
+			}
+			row[i] = v
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

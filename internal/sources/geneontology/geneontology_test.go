@@ -1,0 +1,201 @@
+package geneontology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func smallCorpus() *datagen.Corpus {
+	return datagen.Generate(datagen.Config{
+		Seed: 22, Genes: 80, GoTerms: 60, Diseases: 20,
+		ConflictRate: 0.2, MissingRate: 0.1,
+	})
+}
+
+func TestLoadCounts(t *testing.T) {
+	c := smallCorpus()
+	s, err := Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TermCount() != len(c.Terms) {
+		t.Errorf("TermCount = %d, want %d", s.TermCount(), len(c.Terms))
+	}
+	wantAssocs := 0
+	for _, g := range c.Genes {
+		wantAssocs += len(g.GoTerms)
+	}
+	if s.AssocCount() != wantAssocs {
+		t.Errorf("AssocCount = %d, want %d", s.AssocCount(), wantAssocs)
+	}
+}
+
+func TestTermLookup(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	want := &c.Terms[5]
+	got := s.Term(want.ID)
+	if got == nil {
+		t.Fatal("term not found")
+	}
+	if got.Name != want.Name || got.Namespace != want.Namespace {
+		t.Errorf("term = %+v, want %+v", got, want)
+	}
+	if len(got.IsA) != len(want.Parents) {
+		t.Errorf("is_a = %v, want %v", got.IsA, want.Parents)
+	}
+	if s.Term("GO:9999999") != nil {
+		t.Error("missing term should be nil")
+	}
+}
+
+func TestAncestorsTransitive(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	// Find a term with a grandparent.
+	for _, tm := range c.Terms {
+		if len(tm.Parents) == 0 {
+			continue
+		}
+		p := c.TermByID(tm.Parents[0])
+		if p == nil || len(p.Parents) == 0 {
+			continue
+		}
+		anc := s.Ancestors(tm.ID)
+		has := func(id string) bool {
+			for _, a := range anc {
+				if a == id {
+					return true
+				}
+			}
+			return false
+		}
+		if !has(p.ID) {
+			t.Fatalf("ancestors of %s missing parent %s", tm.ID, p.ID)
+		}
+		if !has(p.Parents[0]) {
+			t.Fatalf("ancestors of %s missing grandparent %s", tm.ID, p.Parents[0])
+		}
+		for _, a := range anc {
+			if a == tm.ID {
+				t.Fatal("term is its own ancestor")
+			}
+		}
+		return
+	}
+	t.Skip("no term with depth >= 2")
+}
+
+func TestDescendantsInverseOfAncestors(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	for _, tm := range c.Terms[:20] {
+		for _, anc := range s.Ancestors(tm.ID) {
+			desc := s.Descendants(anc)
+			found := false
+			for _, d := range desc {
+				if d == tm.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s has ancestor %s, but is not among its descendants", tm.ID, anc)
+			}
+		}
+	}
+}
+
+func TestAssociationsForSymbolCaseInsensitive(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	for i := range c.Genes {
+		g := &c.Genes[i]
+		if len(g.GoTerms) == 0 {
+			continue
+		}
+		// The association file may store the symbol lowercased; both
+		// spellings must find it (Find lowercases keys).
+		as := s.AssociationsForSymbol(strings.ToLower(g.Symbol))
+		as2 := s.AssociationsForSymbol(g.Symbol)
+		if len(as) != len(g.GoTerms) || len(as2) != len(g.GoTerms) {
+			t.Fatalf("gene %s: %d/%d assocs, want %d", g.Symbol, len(as), len(as2), len(g.GoTerms))
+		}
+		// Organism uses the common name, not the binomial.
+		if as[0].Organism != g.GOOrganism {
+			t.Errorf("organism = %q, want %q", as[0].Organism, g.GOOrganism)
+		}
+		return
+	}
+	t.Skip("no annotated gene")
+}
+
+func TestGenesForTermWithDescendants(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	// Pick a term that has descendants with annotations.
+	for _, tm := range c.Terms {
+		desc := s.Descendants(tm.ID)
+		if len(desc) == 0 {
+			continue
+		}
+		direct := s.GenesForTerm(tm.ID, false)
+		closure := s.GenesForTerm(tm.ID, true)
+		if len(closure) < len(direct) {
+			t.Fatalf("closure smaller than direct: %d < %d", len(closure), len(direct))
+		}
+		// Every direct gene is in the closure.
+		in := map[string]bool{}
+		for _, g := range closure {
+			in[g] = true
+		}
+		for _, g := range direct {
+			if !in[g] {
+				t.Fatalf("direct gene %s missing from closure", g)
+			}
+		}
+		return
+	}
+	t.Skip("no term with descendants")
+}
+
+func TestOBOTextParsesWithHeader(t *testing.T) {
+	c := smallCorpus()
+	text := OBOText(c)
+	if !strings.HasPrefix(text, "format-version:") {
+		t.Error("OBO header missing")
+	}
+	if !strings.Contains(text, "[Term]") {
+		t.Error("no stanzas")
+	}
+}
+
+func TestAssociationsScan(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	n := 0
+	s.Associations(func(a Association) bool {
+		if a.TermID == "" || a.Symbol == "" {
+			t.Errorf("incomplete association: %+v", a)
+		}
+		n++
+		return true
+	})
+	if n != s.AssocCount() {
+		t.Errorf("visited %d of %d", n, s.AssocCount())
+	}
+}
+
+func TestTermsScan(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	n := 0
+	s.Terms(func(tm *Term) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}

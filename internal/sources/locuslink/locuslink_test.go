@@ -1,0 +1,159 @@
+package locuslink
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func smallCorpus() *datagen.Corpus {
+	return datagen.Generate(datagen.Config{
+		Seed: 11, Genes: 60, GoTerms: 40, Diseases: 25,
+		ConflictRate: 0.3, MissingRate: 0.2,
+	})
+}
+
+func TestLoadAndCounts(t *testing.T) {
+	c := smallCorpus()
+	db, err := Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != len(c.Genes) {
+		t.Errorf("Len = %d, want %d", db.Len(), len(c.Genes))
+	}
+}
+
+func TestByLocusID(t *testing.T) {
+	c := smallCorpus()
+	db, err := Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &c.Genes[0]
+	l := db.ByLocusID(g.LocusID)
+	if l == nil {
+		t.Fatal("locus not found")
+	}
+	if l.Symbol != g.Symbol || l.Organism != g.Organism || l.Position != g.Position {
+		t.Errorf("locus = %+v, gene = %+v", l, g)
+	}
+	if g.LLMissingDesc && l.Description != "" {
+		t.Error("missing description leaked")
+	}
+	if !g.LLMissingDesc && l.Description != g.Description {
+		t.Error("description mismatch")
+	}
+	if len(l.Aliases) != len(g.Aliases) {
+		t.Errorf("aliases = %v, want %v", l.Aliases, g.Aliases)
+	}
+	wantLinks := len(g.GoTerms) + len(g.Diseases)
+	if len(l.Links) != wantLinks {
+		t.Errorf("links = %d, want %d", len(l.Links), wantLinks)
+	}
+	for _, lk := range l.Links {
+		switch lk.TargetDB {
+		case "GO":
+			if !strings.HasPrefix(lk.URL, GOURLPrefix) {
+				t.Errorf("GO url = %q", lk.URL)
+			}
+		case "OMIM":
+			if !strings.HasPrefix(lk.URL, OMIMURLPrefix) {
+				t.Errorf("OMIM url = %q", lk.URL)
+			}
+		default:
+			t.Errorf("unexpected target db %q", lk.TargetDB)
+		}
+	}
+	if db.ByLocusID(-1) != nil {
+		t.Error("missing id should be nil")
+	}
+}
+
+func TestBySymbol(t *testing.T) {
+	c := smallCorpus()
+	db, _ := Load(c)
+	g := &c.Genes[3]
+	ls := db.BySymbol(g.Symbol)
+	if len(ls) != 1 || ls[0].LocusID != g.LocusID {
+		t.Fatalf("BySymbol(%q) = %+v", g.Symbol, ls)
+	}
+	// Case-insensitive fallback.
+	ls = db.BySymbol(strings.ToLower(g.Symbol))
+	if len(ls) != 1 {
+		t.Errorf("case-insensitive BySymbol failed")
+	}
+	if got := db.BySymbol("NOSUCHGENE99"); len(got) != 0 {
+		t.Errorf("unexpected hit: %+v", got)
+	}
+}
+
+func TestSearchDescription(t *testing.T) {
+	c := smallCorpus()
+	db, _ := Load(c)
+	// Find a gene with a description and search a word of it.
+	for i := range c.Genes {
+		g := &c.Genes[i]
+		if g.LLMissingDesc || g.Description == "" {
+			continue
+		}
+		word := strings.Fields(g.Description)[0]
+		hits := db.Search(word)
+		found := false
+		for _, h := range hits {
+			if h.LocusID == g.LocusID {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Search(%q) missed gene %d", word, g.LocusID)
+		}
+		return
+	}
+	t.Skip("no gene with description in corpus")
+}
+
+func TestScanVisitsAll(t *testing.T) {
+	c := smallCorpus()
+	db, _ := Load(c)
+	n := 0
+	db.Scan(func(*Locus) bool { n++; return true })
+	if n != len(c.Genes) {
+		t.Errorf("scan visited %d", n)
+	}
+	n = 0
+	db.Scan(func(*Locus) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	c := smallCorpus()
+	db, _ := Load(c)
+	id := c.Genes[0].LocusID
+	if err := db.Update(id, func(l *Locus) { l.Description = "UPDATED DESC" }); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.ByLocusID(id).Description; got != "UPDATED DESC" {
+		t.Errorf("description = %q", got)
+	}
+	if err := db.Update(-5, func(*Locus) {}); err == nil {
+		t.Error("update of missing locus should error")
+	}
+}
+
+func TestRelExposesNativeSchema(t *testing.T) {
+	c := smallCorpus()
+	db, _ := Load(c)
+	rs, err := db.Rel().Run(`SELECT symbol FROM locus WHERE locus_id = ` +
+		strconv.Itoa(c.Genes[0].LocusID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != c.Genes[0].Symbol {
+		t.Errorf("SQL over native schema failed: %+v", rs.Rows)
+	}
+}

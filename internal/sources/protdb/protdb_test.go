@@ -1,0 +1,69 @@
+package protdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func smallCorpus() *datagen.Corpus {
+	return datagen.Generate(datagen.Config{
+		Seed: 44, Genes: 100, GoTerms: 30, Diseases: 20,
+		ConflictRate: 0.2, MissingRate: 0.1,
+	})
+}
+
+func TestLoadSubsetOfGenes(t *testing.T) {
+	c := smallCorpus()
+	s, err := Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() == 0 || s.Len() >= len(c.Genes) {
+		t.Errorf("Len = %d, want a strict nonzero subset of %d", s.Len(), len(c.Genes))
+	}
+}
+
+func TestRecordFields(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	var got *Protein
+	s.Scan(func(p *Protein) bool { got = p; return false })
+	if got == nil {
+		t.Fatal("no proteins")
+	}
+	if !strings.HasPrefix(got.Accession, "P") {
+		t.Errorf("accession = %q", got.Accession)
+	}
+	g := c.GeneByID(got.LocusID)
+	if g == nil {
+		t.Fatalf("DR link to unknown locus %d", got.LocusID)
+	}
+	if got.GeneName != g.Symbol {
+		t.Errorf("GN = %q, want %q", got.GeneName, g.Symbol)
+	}
+	if !strings.Contains(got.OrganismS, g.Organism) || !strings.Contains(got.OrganismS, "(") {
+		t.Errorf("OS = %q should embed binomial and common name", got.OrganismS)
+	}
+	if len(got.Keywords) == 0 {
+		t.Error("keywords empty")
+	}
+}
+
+func TestByAccessionAndGeneName(t *testing.T) {
+	c := smallCorpus()
+	s, _ := Load(c)
+	var sample *Protein
+	s.Scan(func(p *Protein) bool { sample = p; return false })
+	if got := s.ByAccession(sample.Accession); got == nil || got.LocusID != sample.LocusID {
+		t.Errorf("ByAccession failed: %+v", got)
+	}
+	if got := s.ByAccession("P99999"); got != nil {
+		t.Error("missing accession should be nil")
+	}
+	ps := s.ByGeneName(sample.GeneName)
+	if len(ps) == 0 {
+		t.Fatalf("ByGeneName(%q) empty", sample.GeneName)
+	}
+}

@@ -1,0 +1,264 @@
+// Package wrapper translates native annotation sources into ANNODA-OML, the
+// common local model expressed in OEM.
+//
+// "To match relevant data sources, they need to be expressed in the same
+// model. As a result, we import these participating data sources into a
+// common model called ANNODA-OML" (paper §3.2.2). Each wrapper knows one
+// source's native storage (relational tables, flat files) and builds an OEM
+// graph mirroring the source's own vocabulary — label names and value
+// encodings are preserved, because resolving those differences is the
+// mapping module's job, not the wrapper's.
+//
+// A wrapper also publishes a Schema: the label-level description of its OML
+// model ("annotation database description" in Figure 1), which is what the
+// MDSM matcher consumes.
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/oem"
+)
+
+// Wrapper adapts one annotation source to ANNODA-OML.
+type Wrapper interface {
+	// Name is the source name, e.g. "LocusLink".
+	Name() string
+	// EntityLabel is the label under which the source's records hang off
+	// the model root, e.g. "Locus", "Term", "Entry".
+	EntityLabel() string
+	// Model returns the source's ANNODA-OML graph. The graph is built on
+	// first use and cached; Refresh invalidates it.
+	Model() (*oem.Graph, error)
+	// Refresh discards the cached model so the next Model call rebuilds it
+	// from native storage (the federated architecture's freshness
+	// property: queries always see current source data).
+	Refresh()
+}
+
+// LabelInfo describes one label of an entity in an OML model.
+type LabelInfo struct {
+	Name       string
+	Kind       oem.Kind
+	Repeatable bool // more than one edge with this label on some entity
+	Optional   bool // absent on some entities
+}
+
+// Schema is the label-level description of a wrapper's OML model — the
+// input MDSM matches against the global schema.
+type Schema struct {
+	Source string
+	Entity string
+	Labels []LabelInfo
+}
+
+// Label returns the LabelInfo with the given name, or nil.
+func (s *Schema) Label(name string) *LabelInfo {
+	for i := range s.Labels {
+		if s.Labels[i].Name == name {
+			return &s.Labels[i]
+		}
+	}
+	return nil
+}
+
+// LabelNames returns the label names in schema order.
+func (s *Schema) LabelNames() []string {
+	out := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		out[i] = l.Name
+	}
+	return out
+}
+
+// InferSchema derives a Schema from an OML model by scanning every entity
+// under the root: label kinds, repeatability and optionality. Nested
+// complex children (e.g. "Links") contribute a single label of kind
+// complex.
+func InferSchema(g *oem.Graph, source, entity string) (Schema, error) {
+	root := g.Root(source)
+	if root == 0 {
+		return Schema{}, fmt.Errorf("wrapper: model has no root %q", source)
+	}
+	entities := g.Children(root, entity)
+	s := Schema{Source: source, Entity: entity}
+	type stat struct {
+		kind     oem.Kind
+		presentN int
+		repeated bool
+		order    int
+	}
+	stats := map[string]*stat{}
+	order := 0
+	for _, eid := range entities {
+		eo := g.Get(eid)
+		if eo == nil || !eo.IsComplex() {
+			continue
+		}
+		counts := map[string]int{}
+		for _, r := range eo.Refs {
+			counts[r.Label]++
+			st, ok := stats[r.Label]
+			if !ok {
+				st = &stat{kind: g.KindOf(r.Target), order: order}
+				order++
+				stats[r.Label] = st
+			}
+			// A label seen with several kinds degrades to string — the
+			// "similar concepts represented using different types"
+			// irregularity.
+			if k := g.KindOf(r.Target); k != st.kind {
+				st.kind = oem.KindString
+			}
+		}
+		for label, n := range counts {
+			st := stats[label]
+			st.presentN++
+			if n > 1 {
+				st.repeated = true
+			}
+		}
+	}
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return stats[names[i]].order < stats[names[j]].order })
+	for _, n := range names {
+		st := stats[n]
+		s.Labels = append(s.Labels, LabelInfo{
+			Name:       n,
+			Kind:       st.kind,
+			Repeatable: st.repeated,
+			Optional:   st.presentN < len(entities),
+		})
+	}
+	return s, nil
+}
+
+// cachedModel gives wrappers the shared build-once/refresh behaviour.
+type cachedModel struct {
+	mu    sync.Mutex
+	graph *oem.Graph
+	build func() (*oem.Graph, error)
+}
+
+func (c *cachedModel) get() (*oem.Graph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.graph != nil {
+		return c.graph, nil
+	}
+	g, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	c.graph = g
+	return g, nil
+}
+
+func (c *cachedModel) invalidate() {
+	c.mu.Lock()
+	c.graph = nil
+	c.mu.Unlock()
+}
+
+// Registry holds the wrappers plugged into an ANNODA instance. Plugging in
+// a new source at runtime is the paper's second design requirement.
+type Registry struct {
+	mu       sync.RWMutex
+	wrappers []Wrapper
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add plugs a wrapper in. Duplicate names are rejected.
+func (r *Registry) Add(w Wrapper) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ex := range r.wrappers {
+		if ex.Name() == w.Name() {
+			return fmt.Errorf("wrapper: source %q already registered", w.Name())
+		}
+	}
+	r.wrappers = append(r.wrappers, w)
+	return nil
+}
+
+// Remove unplugs a source; it reports whether it was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, w := range r.wrappers {
+		if w.Name() == name {
+			r.wrappers = append(r.wrappers[:i], r.wrappers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the wrapper for a source name, or nil.
+func (r *Registry) Get(name string) Wrapper {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, w := range r.wrappers {
+		if w.Name() == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// All returns the wrappers in registration order.
+func (r *Registry) All() []Wrapper {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Wrapper(nil), r.wrappers...)
+}
+
+// Names returns the registered source names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.wrappers))
+	for i, w := range r.wrappers {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// Schemas infers the schema of every registered wrapper.
+func (r *Registry) Schemas() ([]Schema, error) {
+	var out []Schema
+	for _, w := range r.All() {
+		g, err := w.Model()
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: %s: %v", w.Name(), err)
+		}
+		s, err := InferSchema(g, w.Name(), w.EntityLabel())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FragmentText renders the OML model of a single entity (record i) in the
+// paper's Figure 3 notation — the E1 experiment output.
+func FragmentText(w Wrapper, i int) (string, error) {
+	g, err := w.Model()
+	if err != nil {
+		return "", err
+	}
+	root := g.Root(w.Name())
+	ents := g.Children(root, w.EntityLabel())
+	if i < 0 || i >= len(ents) {
+		return "", fmt.Errorf("wrapper: %s has no entity %d", w.Name(), i)
+	}
+	return oem.TextString(g, w.Name(), ents[i]), nil
+}
