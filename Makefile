@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench serve clean
+
+# check is the tier-1 gate: vet, build, and the full test tree under -race.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every paper-artifact benchmark a few iterations (smoke), not a
+# statistically careful run.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 5x .
+
+serve:
+	$(GO) run ./cmd/annoda-server
+
+clean:
+	$(GO) clean ./...

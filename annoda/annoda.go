@@ -43,7 +43,10 @@ type Condition = core.Condition
 // View is the Figure 5(b) integrated annotation view.
 type View = core.ViewRow
 
-// Options tunes the mediator (reconciliation policy, optimizer toggles).
+// Options tunes the mediator: reconciliation policy, optimizer toggles,
+// and the sharded result cache (CacheSize, CacheTTL, DisableCache).
+// Repeated questions are answered from the cache; concurrent identical
+// questions collapse onto one computation.
 type Options = mediator.Options
 
 // Corpus is a deterministic synthetic annotation corpus.

@@ -353,6 +353,86 @@ func benchmarkE12(b *testing.B, workers int) {
 func BenchmarkE12_Batch1Worker(b *testing.B)  { benchmarkE12(b, 1) }
 func BenchmarkE12_Batch8Workers(b *testing.B) { benchmarkE12(b, 8) }
 
+// --- E13: result cache — repeated and concurrent questions -------------------
+
+// benchmarkE13Repeat measures the hot path the server actually serves: the
+// same biological question asked back-to-back. With the cache the fan-out
+// runs once; without it every iteration pays fetch+fuse+eval.
+func benchmarkE13Repeat(b *testing.B, opts mediator.Options) {
+	sys, err := core.New(benchCorpus(1000), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Figure5bQuestion()
+	if _, _, err := sys.Ask(q); err != nil { // warm (or prove) the path
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := sys.Ask(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.Rows) == 0 {
+			b.Fatal("empty view")
+		}
+	}
+}
+
+func BenchmarkE13_RepeatedAskCached(b *testing.B) { benchmarkE13Repeat(b, mediator.Options{}) }
+func BenchmarkE13_RepeatedAskUncached(b *testing.B) {
+	benchmarkE13Repeat(b, mediator.Options{DisableCache: true})
+}
+
+// benchmarkE13Concurrent hammers one System from GOMAXPROCS goroutines with
+// identical questions: singleflight collapses the herd onto one compute.
+func benchmarkE13Concurrent(b *testing.B, opts mediator.Options) {
+	sys, err := core.New(benchCorpus(1000), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Figure5bQuestion()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := sys.Ask(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE13_ConcurrentAskCached(b *testing.B) { benchmarkE13Concurrent(b, mediator.Options{}) }
+func BenchmarkE13_ConcurrentAskUncached(b *testing.B) {
+	benchmarkE13Concurrent(b, mediator.Options{DisableCache: true})
+}
+
+// BenchmarkE13_DistinctQuestionsCached cycles through several distinct
+// questions so the benchmark exercises shard spread and LRU residency, not
+// just one hot key.
+func BenchmarkE13_DistinctQuestionsCached(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	questions := []core.Question{
+		{Include: []string{"GO"}, Exclude: []string{"OMIM"}},
+		{Include: []string{"OMIM"}},
+		{Include: []string{"GO", "OMIM"}, Combine: core.CombineAny},
+		{Include: []string{"GO"}, Conditions: []core.Condition{{Field: "Symbol", Op: "like", Value: "A%"}}},
+		{Exclude: []string{"GO"}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Ask(questions[i%len(questions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // runLorel evaluates a Lorel query on a graph and returns the answer size.
 func runLorel(g *oem.Graph, src string) (int, string, error) {
 	q, err := lorel.Parse(src)

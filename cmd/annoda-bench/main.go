@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/capability"
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E13) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	flag.Parse()
@@ -45,9 +46,10 @@ func main() {
 	runners := map[string]func(*datagen.Corpus, *core.System){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
+		"E13": e13,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -369,6 +371,97 @@ func e11(c *datagen.Corpus, sys *core.System) {
 		fatal(err)
 	}
 	fmt.Printf("genes with protein records: %d\n", len(v.Rows))
+}
+
+// E13 — result cache and concurrency ablation: the same questions served
+// repeatedly, sequentially and concurrently, with and without the sharded
+// result cache. The cached/uncached ratio is the headline speedup.
+func e13(c *datagen.Corpus, sys *core.System) {
+	questions := []core.Question{
+		core.Figure5bQuestion(),
+		{Include: []string{"OMIM"}},
+		{Include: []string{"GO", "OMIM"}, Combine: core.CombineAny},
+		{Include: []string{"GO"}, Conditions: []core.Condition{{Field: "Symbol", Op: "like", Value: "A%"}}},
+	}
+	const rounds = 25
+
+	type config struct {
+		name string
+		opts mediator.Options
+	}
+	configs := []config{
+		{"cached", mediator.Options{}},
+		{"uncached", mediator.Options{DisableCache: true}},
+	}
+
+	fmt.Println("workload: each of", len(questions), "distinct questions asked", rounds, "times")
+	fmt.Printf("\n-- sequential --\n%-10s %-12s %-14s %s\n", "config", "total", "per-question", "cache")
+	seq := map[string]time.Duration{}
+	for _, cf := range configs {
+		s, err := core.New(c, cf.opts)
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		n := 0
+		for r := 0; r < rounds; r++ {
+			for _, q := range questions {
+				if _, _, err := s.Ask(q); err != nil {
+					fatal(err)
+				}
+				n++
+			}
+		}
+		el := time.Since(t0)
+		seq[cf.name] = el
+		cacheCol := "disabled"
+		if counters, ok := s.Manager.CacheCounters(); ok {
+			cacheCol = fmt.Sprintf("hits=%d misses=%d", counters.Hits, counters.Misses)
+		}
+		fmt.Printf("%-10s %-12v %-14v %s\n", cf.name, el.Round(time.Millisecond),
+			(el / time.Duration(n)).Round(time.Microsecond), cacheCol)
+	}
+	if seq["cached"] > 0 {
+		fmt.Printf("sequential speedup (uncached/cached): %.1fx\n",
+			float64(seq["uncached"])/float64(seq["cached"]))
+	}
+
+	fmt.Printf("\n-- concurrent (%d goroutines) --\n%-10s %-12s %-14s %s\n",
+		8, "config", "total", "per-question", "cache")
+	conc := map[string]time.Duration{}
+	for _, cf := range configs {
+		s, err := core.New(c, cf.opts)
+		if err != nil {
+			fatal(err)
+		}
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if _, _, err := s.Ask(questions[(g+r)%len(questions)]); err != nil {
+						fatal(err)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		conc[cf.name] = el
+		n := 8 * rounds
+		cacheCol := "disabled"
+		if counters, ok := s.Manager.CacheCounters(); ok {
+			cacheCol = fmt.Sprintf("hits=%d misses=%d shared=%d", counters.Hits, counters.Misses, counters.Shared)
+		}
+		fmt.Printf("%-10s %-12v %-14v %s\n", cf.name, el.Round(time.Millisecond),
+			(el / time.Duration(n)).Round(time.Microsecond), cacheCol)
+	}
+	if conc["cached"] > 0 {
+		fmt.Printf("concurrent speedup (uncached/cached): %.1fx\n",
+			float64(conc["uncached"])/float64(conc["cached"]))
+	}
 }
 
 // E12 — large-scale batch annotation.

@@ -1,20 +1,36 @@
-// Command annoda-server serves ANNODA's three Figure 5 views over HTTP:
+// Command annoda-server serves ANNODA's three Figure 5 views over HTTP,
+// plus a JSON API and operational endpoints:
 //
 //	/            the query interface (Figure 5(a))
 //	/ask         the annotation integrated view (Figure 5(b))
 //	/object?url= the individual object view (Figure 5(c))
+//	/api/ask     the integrated view as JSON (POST body or form params)
+//	/api/query   raw Lorel queries as JSON
+//	/api/object  the object view as JSON
+//	/healthz     liveness probe
+//	/statsz      request and result-cache counters
+//
+// Every request runs under a timeout and panic recovery; repeated questions
+// are answered from the mediator's sharded result cache (disable with
+// -nocache). The server drains in-flight requests on SIGINT/SIGTERM.
 //
 // Start it and open http://localhost:8077/ — submitting the default form
 // reproduces the paper's running example.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -31,29 +47,57 @@ code{background:#eef}a{color:#225}</style></head><body>
 {{.Body}}
 </body></html>`))
 
-type server struct {
-	sys *core.System
-}
-
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	genes := flag.Int("genes", 1000, "corpus size")
+	reqTimeout := flag.Duration("timeout", defaultRequestTimeout, "per-request timeout")
+	cacheSize := flag.Int("cache-size", 0, "result cache capacity in entries (0 = default)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry)")
+	noCache := flag.Bool("nocache", false, "disable the result cache")
 	flag.Parse()
+
 	cfg := datagen.DefaultConfig()
 	cfg.Genes = *genes
-	sys, err := core.New(datagen.Generate(cfg), mediator.Options{})
+	sys, err := core.New(datagen.Generate(cfg), mediator.Options{
+		CacheSize:    *cacheSize,
+		CacheTTL:     *cacheTTL,
+		DisableCache: *noCache,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := sys.PlugInProteins(); err != nil {
 		log.Fatal(err)
 	}
-	s := &server{sys: sys}
-	http.HandleFunc("/", s.form)
-	http.HandleFunc("/ask", s.ask)
-	http.HandleFunc("/object", s.object)
-	log.Printf("annoda-server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(sys, *reqTimeout),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
+	// requests, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("annoda-server listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down; draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
 }
 
 func (s *server) render(w http.ResponseWriter, body template.HTML) {
@@ -65,6 +109,10 @@ func (s *server) render(w http.ResponseWriter, body template.HTML) {
 // form is the Figure 5(a) query interface: include/exclude targets,
 // combination method, search conditions.
 func (s *server) form(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
 	var b strings.Builder
 	b.WriteString(`<div class="box"><h2>Query interface (Figure 5a)</h2>
 <form action="/ask" method="GET"><table>
@@ -101,23 +149,7 @@ func check(b bool) string {
 
 // ask renders the Figure 5(b) integrated view.
 func (s *server) ask(w http.ResponseWriter, r *http.Request) {
-	var q core.Question
-	for _, src := range s.sys.Registry.Names() {
-		switch r.FormValue("t_" + src) {
-		case "include":
-			q.Include = append(q.Include, src)
-		case "exclude":
-			q.Exclude = append(q.Exclude, src)
-		}
-	}
-	if r.FormValue("combine") == "any" {
-		q.Combine = core.CombineAny
-	}
-	if f := r.FormValue("field"); f != "" && r.FormValue("value") != "" {
-		q.Conditions = append(q.Conditions, core.Condition{
-			Field: f, Op: r.FormValue("op"), Value: r.FormValue("value"),
-		})
-	}
+	q := s.questionFromForm(r)
 	view, stats, err := s.sys.Ask(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -165,7 +197,11 @@ func (s *server) object(w http.ResponseWriter, r *http.Request) {
 	url := r.FormValue("url")
 	out, err := s.sys.ObjectView(url)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		// Escape before reflecting: the URL is attacker-controlled input.
+		w.WriteHeader(http.StatusNotFound)
+		s.render(w, template.HTML(fmt.Sprintf(
+			`<div class="box"><p>no object behind <code>%s</code></p></div>`,
+			template.HTMLEscapeString(url))))
 		return
 	}
 	var b strings.Builder

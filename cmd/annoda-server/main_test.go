@@ -1,0 +1,424 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/mediator"
+	"repro/internal/sources/locuslink"
+)
+
+var (
+	testSysOnce sync.Once
+	testSysVal  *core.System
+)
+
+// testSystem builds one small System shared by every handler test (building
+// it per-test would dominate the suite's runtime).
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	testSysOnce.Do(func() {
+		cfg := datagen.Config{
+			Seed: 777, Genes: 60, GoTerms: 40, Diseases: 30,
+			ConflictRate: 0.2, MissingRate: 0.1,
+		}
+		sys, err := core.New(datagen.Generate(cfg), mediator.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.PlugInProteins(); err != nil {
+			panic(err)
+		}
+		testSysVal = sys
+	})
+	return testSysVal
+}
+
+func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	return rec
+}
+
+func postJSON(t *testing.T, h http.Handler, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestFormPage(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	rec := get(t, h, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET / = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Query interface (Figure 5a)", `name="t_GO"`, `name="t_OMIM"`, "Run biological question"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("form page missing %q", want)
+		}
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	if rec := get(t, h, "/no/such/page"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /no/such/page = %d, want 404", rec.Code)
+	}
+}
+
+func TestAskHTML(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	rec := get(t, h, "/ask?t_GO=include&t_OMIM=exclude")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /ask = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Annotation integrated view (Figure 5b)") {
+		t.Error("missing view heading")
+	}
+	if !strings.Contains(body, "exists G.Annotation") || !strings.Contains(body, "not exists G.Disease") {
+		t.Error("compiled Lorel not echoed")
+	}
+	if !strings.Contains(body, "cache:") {
+		t.Error("stats block missing cache counters")
+	}
+}
+
+func TestAskHTMLBadCondition(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	rec := get(t, h, "/ask?field=Organism&op=BOGUS&value=x")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad operator: got %d, want 400", rec.Code)
+	}
+}
+
+// TestAskHTMLEscaping: user input reflected into the page must come back
+// entity-escaped, never as live markup.
+func TestAskHTMLEscaping(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	payload := `<script>alert(1)</script>`
+	tests := []struct {
+		name, target string
+		wantCode     int
+	}{
+		{"ask condition value", "/ask?field=Organism&op==&value=" + url.QueryEscape(payload), http.StatusOK},
+		{"object url", "/object?url=" + url.QueryEscape(payload), http.StatusNotFound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := get(t, h, tt.target)
+			if rec.Code != tt.wantCode {
+				t.Fatalf("got %d, want %d", rec.Code, tt.wantCode)
+			}
+			if strings.Contains(rec.Body.String(), payload) {
+				t.Errorf("raw script tag reflected into response")
+			}
+		})
+	}
+}
+
+func TestObjectHTML(t *testing.T) {
+	sys := testSystem(t)
+	h := newMux(sys, 0)
+	u := locuslink.SelfURL(sys.Corpus.Genes[0].LocusID)
+	rec := get(t, h, "/object?url="+url.QueryEscape(u))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /object = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "Individual object view (Figure 5c)") {
+		t.Error("missing object view heading")
+	}
+	if rec := get(t, h, "/object?url=http://nowhere.example/x"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown object = %d, want 404", rec.Code)
+	}
+}
+
+func TestAPIAskPost(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	rec := postJSON(t, h, "/api/ask", `{"include":["GO"],"exclude":["OMIM"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/ask = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var resp askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) == 0 {
+		t.Fatal("no rows in JSON view")
+	}
+	if !strings.Contains(resp.Question, "exists G.Annotation") {
+		t.Errorf("question = %q", resp.Question)
+	}
+	if resp.Stats.Cache == nil {
+		t.Error("cache stats absent from response")
+	}
+	// The identical question again must be a cache hit.
+	rec2 := postJSON(t, h, "/api/ask", `{"include":["GO"],"exclude":["OMIM"]}`)
+	var resp2 askResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Stats.Cache == nil || !resp2.Stats.Cache.Hit {
+		t.Error("repeated question did not hit the result cache")
+	}
+	if len(resp2.Rows) != len(resp.Rows) {
+		t.Errorf("cached answer has %d rows, first had %d", len(resp2.Rows), len(resp.Rows))
+	}
+}
+
+func TestAPIAskGetFormParams(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	rec := get(t, h, "/api/ask?t_GO=include&t_OMIM=exclude")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/ask = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestAPIAsk4xx(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	tests := []struct {
+		name string
+		do   func() *httptest.ResponseRecorder
+		want int
+	}{
+		{"malformed json", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/api/ask", `{"include":`)
+		}, http.StatusBadRequest},
+		{"unknown field", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/api/ask", `{"bogus":1}`)
+		}, http.StatusBadRequest},
+		{"bad combine", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/api/ask", `{"combine":"sometimes"}`)
+		}, http.StatusBadRequest},
+		{"unknown source", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/api/ask", `{"include":["NoSuchDB"]}`)
+		}, http.StatusBadRequest},
+		{"bad operator", func() *httptest.ResponseRecorder {
+			return postJSON(t, h, "/api/ask", `{"conditions":[{"field":"Organism","op":"~","value":"x"}]}`)
+		}, http.StatusBadRequest},
+		{"method not allowed", func() *httptest.ResponseRecorder {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/api/ask", nil))
+			return rec
+		}, http.StatusMethodNotAllowed},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := tt.do()
+			if rec.Code != tt.want {
+				t.Fatalf("got %d, want %d: %s", rec.Code, tt.want, rec.Body.String())
+			}
+			var e map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+				t.Errorf("error body not JSON with error field: %s", rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestAPIQuery(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	q := `select G from ANNODA-GML.Gene G where exists G.Annotation`
+	rec := get(t, h, "/api/query?q="+url.QueryEscape(q))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/query = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answers == 0 || resp.Text == "" {
+		t.Fatalf("empty answer: %+v", resp)
+	}
+	// POST body form.
+	rec2 := postJSON(t, h, "/api/query", fmt.Sprintf(`{"query":%q}`, q))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("POST /api/query = %d", rec2.Code)
+	}
+	var resp2 queryResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Answers != resp.Answers {
+		t.Errorf("GET and POST disagree: %d vs %d", resp.Answers, resp2.Answers)
+	}
+	// 4xx paths.
+	if rec := get(t, h, "/api/query"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/api/query?q=not+lorel"); rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage query = %d, want 400", rec.Code)
+	}
+}
+
+func TestAPIObject(t *testing.T) {
+	sys := testSystem(t)
+	h := newMux(sys, 0)
+	u := locuslink.SelfURL(sys.Corpus.Genes[0].LocusID)
+	rec := get(t, h, "/api/object?url="+url.QueryEscape(u))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/object = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp objectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.URL != u || resp.Text == "" {
+		t.Fatalf("bad object response: %+v", resp)
+	}
+	if rec := get(t, h, "/api/object?url=http://nowhere.example/x"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown url = %d, want 404", rec.Code)
+	}
+	if rec := get(t, h, "/api/object"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing url = %d, want 400", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", rec.Code)
+	}
+	var resp struct {
+		Status  string   `json:"status"`
+		Sources []string `json:"sources"`
+		Genes   int      `json:"genes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Genes == 0 || len(resp.Sources) < 3 {
+		t.Fatalf("unhealthy health: %+v", resp)
+	}
+}
+
+func TestStatszCountsRequestsAndCache(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	get(t, h, "/healthz")
+	get(t, h, "/healthz")
+	rec := get(t, h, "/statsz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /statsz = %d", rec.Code)
+	}
+	var resp struct {
+		RequestsTotal  int64            `json:"requests_total"`
+		RequestsByPath map[string]int64 `json:"requests_by_path"`
+		Cache          *cacheJSON       `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.RequestsTotal < 3 || resp.RequestsByPath["/healthz"] < 2 {
+		t.Fatalf("request counters wrong: %+v", resp)
+	}
+	if resp.Cache == nil {
+		t.Fatal("cache counters absent with cache enabled")
+	}
+}
+
+// TestStatszPathCounterBounded: a scan over arbitrary URLs must not grow
+// the per-path map without bound — overflow paths aggregate as "(other)".
+func TestStatszPathCounterBounded(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	for i := 0; i < maxTrackedPaths+50; i++ {
+		get(t, h, fmt.Sprintf("/scan/%d", i))
+	}
+	rec := get(t, h, "/statsz")
+	var resp struct {
+		RequestsByPath map[string]int64 `json:"requests_by_path"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.RequestsByPath) > maxTrackedPaths+1 { // +1 for "(other)"
+		t.Fatalf("path map grew to %d entries, cap is %d", len(resp.RequestsByPath), maxTrackedPaths)
+	}
+	if resp.RequestsByPath["(other)"] == 0 {
+		t.Fatal("overflow paths were not aggregated under (other)")
+	}
+}
+
+// TestRequestTimeout: a request that outlives the per-request budget gets a
+// 503 from http.TimeoutHandler rather than hanging the client.
+func TestRequestTimeout(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	})
+	h := recovering(http.TimeoutHandler(slow, 20*time.Millisecond, "request timed out"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request = %d, want 503", rec.Code)
+	}
+}
+
+// TestRecoveryMiddleware: a panicking handler becomes a 500.
+func TestRecoveryMiddleware(t *testing.T) {
+	h := recovering(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+}
+
+// TestConcurrentAPIRequests drives the full middleware stack from many
+// goroutines — the server-side companion to the core -race test.
+func TestConcurrentAPIRequests(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				var rec *httptest.ResponseRecorder
+				switch i % 3 {
+				case 0:
+					rec = postJSON(t, h, "/api/ask", `{"include":["GO"]}`)
+				case 1:
+					rec = get(t, h, "/api/query?q="+url.QueryEscape(`select G from ANNODA-GML.Gene G`))
+				case 2:
+					rec = get(t, h, "/statsz")
+				}
+				if rec.Code != http.StatusOK {
+					body, _ := io.ReadAll(rec.Result().Body)
+					t.Errorf("goroutine %d iter %d: %d %s", g, i, rec.Code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

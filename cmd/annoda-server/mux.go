@@ -1,0 +1,377 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mediator"
+	"repro/internal/oem"
+)
+
+// defaultRequestTimeout bounds one request's handler time; a mediated query
+// over the demo corpus is milliseconds, so anything past this is a bug.
+const defaultRequestTimeout = 30 * time.Second
+
+// newMux builds the complete, middleware-wrapped handler tree for a running
+// System. It is the testable seam: handler tests drive it through
+// net/http/httptest without opening a socket. timeout <= 0 selects
+// defaultRequestTimeout.
+func newMux(sys *core.System, timeout time.Duration) http.Handler {
+	if timeout <= 0 {
+		timeout = defaultRequestTimeout
+	}
+	s := &server{sys: sys, start: time.Now()}
+
+	mux := http.NewServeMux()
+	// HTML views (Figures 5a/5b/5c).
+	mux.HandleFunc("/", s.form)
+	mux.HandleFunc("/ask", s.ask)
+	mux.HandleFunc("/object", s.object)
+	// JSON API.
+	mux.HandleFunc("/api/ask", s.apiAsk)
+	mux.HandleFunc("/api/query", s.apiQuery)
+	mux.HandleFunc("/api/object", s.apiObject)
+	// Operational endpoints.
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/statsz", s.statsz)
+
+	var h http.Handler = mux
+	h = http.TimeoutHandler(h, timeout, "request timed out")
+	h = s.counting(h)
+	h = recovering(h)
+	return h
+}
+
+// maxTrackedPaths bounds the per-path counter map: r.URL.Path is
+// attacker-controlled (404 scans hit this middleware before routing), so an
+// unbounded map is a memory leak. Past the cap, new paths aggregate under
+// "(other)".
+const maxTrackedPaths = 32
+
+// counting tracks per-path request counts for /statsz.
+func (s *server) counting(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		path := r.URL.Path
+		s.perPath.mu.Lock()
+		if s.perPath.counts == nil {
+			s.perPath.counts = map[string]int64{}
+		}
+		if _, tracked := s.perPath.counts[path]; !tracked && len(s.perPath.counts) >= maxTrackedPaths {
+			path = "(other)"
+		}
+		s.perPath.counts[path]++
+		s.perPath.mu.Unlock()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recovering converts a handler panic into a 500 instead of killing the
+// connection (and, under http.Serve, leaking a broken keep-alive).
+func recovering(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+type server struct {
+	sys      *core.System
+	start    time.Time
+	requests atomic.Int64
+	perPath  struct {
+		mu     sync.Mutex
+		counts map[string]int64
+	}
+}
+
+// ---------------------------------------------------------------------------
+// JSON API
+// ---------------------------------------------------------------------------
+
+type conditionJSON struct {
+	Field string `json:"field"`
+	Op    string `json:"op"`
+	Value string `json:"value"`
+}
+
+type askRequest struct {
+	Include    []string        `json:"include"`
+	Exclude    []string        `json:"exclude"`
+	Combine    string          `json:"combine"` // "all" (default) or "any"
+	Conditions []conditionJSON `json:"conditions"`
+}
+
+type rowJSON struct {
+	GeneID   int64    `json:"gene_id"`
+	Symbol   string   `json:"symbol"`
+	Organism string   `json:"organism,omitempty"`
+	Position string   `json:"position,omitempty"`
+	GoIDs    []string `json:"go_ids,omitempty"`
+	MimIDs   []int64  `json:"mim_ids,omitempty"`
+	Proteins []string `json:"proteins,omitempty"`
+	WebLinks []string `json:"web_links,omitempty"`
+}
+
+type cacheJSON struct {
+	Hit       bool  `json:"hit"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"`
+	Evictions int64 `json:"evictions"`
+	Expired   int64 `json:"expired"`
+	Entries   int   `json:"entries"`
+}
+
+type statsJSON struct {
+	SourcesQueried []string   `json:"sources_queried"`
+	SourcesPruned  []string   `json:"sources_pruned,omitempty"`
+	Conflicts      int        `json:"conflicts"`
+	Pushdown       bool       `json:"pushdown"`
+	Parallel       bool       `json:"parallel"`
+	FetchMicros    int64      `json:"fetch_micros"`
+	FuseMicros     int64      `json:"fuse_micros"`
+	EvalMicros     int64      `json:"eval_micros"`
+	Cache          *cacheJSON `json:"cache,omitempty"`
+}
+
+type askResponse struct {
+	Question  string    `json:"question"`
+	Rows      []rowJSON `json:"rows"`
+	Conflicts int       `json:"conflicts"`
+	Stats     statsJSON `json:"stats"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// mediatorStats converts mediator stats to the wire shape.
+func mediatorStats(st *mediator.Stats) statsJSON {
+	out := statsJSON{
+		SourcesQueried: st.SourcesQueried,
+		SourcesPruned:  st.SourcesPruned,
+		Conflicts:      len(st.Conflicts),
+		Pushdown:       st.PushdownUsed,
+		Parallel:       st.Parallel,
+		FetchMicros:    st.FetchTime.Microseconds(),
+		FuseMicros:     st.FuseTime.Microseconds(),
+		EvalMicros:     st.EvalTime.Microseconds(),
+	}
+	if st.CacheEnabled {
+		out.Cache = &cacheJSON{
+			Hit:  st.CacheHit,
+			Hits: st.Cache.Hits, Misses: st.Cache.Misses, Shared: st.Cache.Shared,
+			Evictions: st.Cache.Evictions, Expired: st.Cache.Expired, Entries: st.Cache.Entries,
+		}
+	}
+	return out
+}
+
+// apiAsk answers a Figure 5(a) biological question with the integrated view
+// as JSON. POST takes an askRequest body; GET takes the HTML form's query
+// parameters (t_<Source>=include|exclude, combine, field/op/value), so every
+// form URL has a machine-readable twin under /api.
+func (s *server) apiAsk(w http.ResponseWriter, r *http.Request) {
+	var q core.Question
+	switch r.Method {
+	case http.MethodPost:
+		var req askRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		q.Include = req.Include
+		q.Exclude = req.Exclude
+		switch strings.ToLower(req.Combine) {
+		case "", "all":
+			q.Combine = core.CombineAll
+		case "any":
+			q.Combine = core.CombineAny
+		default:
+			jsonError(w, http.StatusBadRequest, "combine must be \"all\" or \"any\", got %q", req.Combine)
+			return
+		}
+		for _, c := range req.Conditions {
+			q.Conditions = append(q.Conditions, core.Condition{Field: c.Field, Op: c.Op, Value: c.Value})
+		}
+	case http.MethodGet:
+		q = s.questionFromForm(r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	view, stats, err := s.sys.Ask(q)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := askResponse{
+		Question:  view.Question,
+		Rows:      make([]rowJSON, 0, len(view.Rows)),
+		Conflicts: view.Conflicts,
+		Stats:     mediatorStats(stats),
+	}
+	for _, row := range view.Rows {
+		resp.Rows = append(resp.Rows, rowJSON{
+			GeneID: row.GeneID, Symbol: row.Symbol, Organism: row.Organism,
+			Position: row.Position, GoIDs: row.GoIDs, MimIDs: row.MimIDs,
+			Proteins: row.Proteins, WebLinks: row.WebLinks,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+type queryResponse struct {
+	Query   string    `json:"query"`
+	Answers int       `json:"answers"`
+	Text    string    `json:"text"`
+	Stats   statsJSON `json:"stats"`
+}
+
+// apiQuery runs a raw Lorel query in the global vocabulary: GET ?q=... or
+// POST {"query": "..."}.
+func (s *server) apiQuery(w http.ResponseWriter, r *http.Request) {
+	var src string
+	switch r.Method {
+	case http.MethodPost:
+		var req queryRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		src = req.Query
+	case http.MethodGet:
+		src = r.FormValue("q")
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if strings.TrimSpace(src) == "" {
+		jsonError(w, http.StatusBadRequest, "missing query (POST {\"query\": ...} or GET ?q=...)")
+		return
+	}
+	res, stats, err := s.sys.Query(src)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Query:   src,
+		Answers: res.Size(),
+		Text:    oem.TextString(res.Graph, "answer", res.Answer),
+		Stats:   mediatorStats(stats),
+	})
+}
+
+type objectResponse struct {
+	URL  string `json:"url"`
+	Text string `json:"text"`
+}
+
+// apiObject renders the Figure 5(c) individual-object view as JSON.
+func (s *server) apiObject(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	url := r.FormValue("url")
+	if url == "" {
+		jsonError(w, http.StatusBadRequest, "missing url parameter")
+		return
+	}
+	out, err := s.sys.ObjectView(url)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, objectResponse{URL: url, Text: out})
+}
+
+// healthz is the liveness probe: the system is up and its sources resolve.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"sources": s.sys.Registry.Names(),
+		"genes":   len(s.sys.Corpus.Genes),
+	})
+}
+
+// statsz reports serving and cache counters.
+func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
+	byPath := map[string]int64{}
+	s.perPath.mu.Lock()
+	for p, n := range s.perPath.counts {
+		byPath[p] = n
+	}
+	s.perPath.mu.Unlock()
+	resp := map[string]any{
+		"uptime_seconds":   int64(time.Since(s.start).Seconds()),
+		"requests_total":   s.requests.Load(),
+		"requests_by_path": byPath,
+	}
+	if counters, ok := s.sys.Manager.CacheCounters(); ok {
+		resp["cache"] = cacheJSON{
+			Hits: counters.Hits, Misses: counters.Misses, Shared: counters.Shared,
+			Evictions: counters.Evictions, Expired: counters.Expired, Entries: counters.Entries,
+		}
+	} else {
+		resp["cache"] = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// questionFromForm decodes the HTML form's parameters into a Question —
+// shared by the HTML /ask handler and GET /api/ask.
+func (s *server) questionFromForm(r *http.Request) core.Question {
+	var q core.Question
+	for _, src := range s.sys.Registry.Names() {
+		switch r.FormValue("t_" + src) {
+		case "include":
+			q.Include = append(q.Include, src)
+		case "exclude":
+			q.Exclude = append(q.Exclude, src)
+		}
+	}
+	if r.FormValue("combine") == "any" {
+		q.Combine = core.CombineAny
+	}
+	if f := r.FormValue("field"); f != "" && r.FormValue("value") != "" {
+		q.Conditions = append(q.Conditions, core.Condition{
+			Field: f, Op: r.FormValue("op"), Value: r.FormValue("value"),
+		})
+	}
+	return q
+}

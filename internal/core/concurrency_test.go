@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/mediator"
+	"repro/internal/sources/locuslink"
+)
+
+func smallCorpus() *datagen.Corpus {
+	return datagen.Generate(datagen.Config{
+		Seed: 4242, Genes: 80, GoTerms: 50, Diseases: 40,
+		ConflictRate: 0.2, MissingRate: 0.1,
+	})
+}
+
+// TestParallelAskQuery hammers one System with a mix of Ask, Query,
+// ObjectView and AnnotateBatch from many goroutines. Run under -race (the
+// CI tier-1 gate does); correctness assertion: every goroutine must see the
+// same answer set as a warmed-up sequential baseline.
+func TestParallelAskQuery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts mediator.Options
+	}{
+		{"cached", mediator.Options{}},
+		{"uncached", mediator.Options{DisableCache: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := smallCorpus()
+			sys, err := New(c, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline, _, err := sys.Ask(Figure5bQuestion())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var symbols []string
+			for i := range c.Genes {
+				symbols = append(symbols, c.Genes[i].Symbol)
+			}
+			url := locuslink.SelfURL(c.Genes[0].LocusID)
+
+			const goroutines = 12
+			const iters = 6
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines*iters)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						switch (g + i) % 4 {
+						case 0:
+							v, _, err := sys.Ask(Figure5bQuestion())
+							if err != nil {
+								errs <- err
+								continue
+							}
+							if len(v.Rows) != len(baseline.Rows) {
+								errs <- fmt.Errorf("goroutine %d: %d rows, want %d", g, len(v.Rows), len(baseline.Rows))
+							}
+						case 1:
+							// A distinct question so the cache holds several keys.
+							if _, _, err := sys.Query(`select G from ANNODA-GML.Gene G where exists G.Disease`); err != nil {
+								errs <- err
+							}
+						case 2:
+							if _, err := sys.ObjectView(url); err != nil {
+								errs <- err
+							}
+						case 3:
+							res, err := sys.AnnotateBatch(symbols[:10], 4)
+							if err != nil {
+								errs <- err
+								continue
+							}
+							for _, r := range res {
+								if r.Err != nil {
+									errs <- fmt.Errorf("batch %s: %v", r.Symbol, r.Err)
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCachedViewBitForBit: the acceptance criterion — with the cache on,
+// repeated Asks render byte-identical views, and DisableCache produces the
+// very same bytes (the cache must be invisible in the output).
+func TestCachedViewBitForBit(t *testing.T) {
+	c := smallCorpus()
+	cached, err := New(c, mediator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(c, mediator.Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Figure5bQuestion()
+	vPlain, _, err := plain.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vPlain.Format()
+	for i := 0; i < 3; i++ {
+		v, _, err := cached.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Format(); got != want {
+			t.Fatalf("round %d: cached view diverges from uncached:\n--- cached ---\n%s\n--- uncached ---\n%s", i, got, want)
+		}
+		if !reflect.DeepEqual(v.Rows, vPlain.Rows) {
+			t.Fatalf("round %d: row structures diverge", i)
+		}
+	}
+}
+
+// TestPlugInInvalidatesCache: plugging ProtDB in mid-flight must not leave
+// protein-less cached answers around.
+func TestPlugInInvalidatesCache(t *testing.T) {
+	sys, err := New(smallCorpus(), mediator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `select G from ANNODA-GML.Gene G where exists G.Protein`
+	res, _, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 0 {
+		t.Fatalf("%d genes with proteins before plug-in", res.Size())
+	}
+	if err := sys.PlugInProteins(); err != nil {
+		t.Fatal(err)
+	}
+	res2, stats, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHit {
+		t.Fatal("post-plug-in query served from the pre-plug-in cache")
+	}
+	if res2.Size() == 0 {
+		t.Fatal("no genes with proteins after plug-in")
+	}
+}

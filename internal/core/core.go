@@ -97,6 +97,9 @@ func (s *System) PlugInProteins() error {
 		s.Registry.Remove(w.Name())
 		return err
 	}
+	// Cached results were computed over the old source set; drop them so
+	// the next query sees the new source.
+	s.Manager.InvalidateCache()
 	return s.Resolver.Reindex()
 }
 

@@ -1,0 +1,153 @@
+package mediator
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/qcache"
+)
+
+const cacheTestQuery = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+
+func TestCacheHitMissCounters(t *testing.T) {
+	m := manager(t, corpus(), Options{})
+	res1, stats1, err := m.QueryString(cacheTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats1.CacheEnabled || stats1.CacheHit {
+		t.Fatalf("first query: enabled=%v hit=%v, want enabled miss", stats1.CacheEnabled, stats1.CacheHit)
+	}
+	res2, stats2, err := m.QueryString(cacheTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.CacheHit {
+		t.Fatal("second identical query was not a cache hit")
+	}
+	if res2 != res1 {
+		t.Fatal("cache hit returned a different Result pointer")
+	}
+	if stats2.Cache.Hits < 1 || stats2.Cache.Misses < 1 {
+		t.Fatalf("counters not surfaced in stats: %+v", stats2.Cache)
+	}
+	// Whitespace-insensitive: the canonical form is the key.
+	_, stats3, err := m.QueryString("select   G from ANNODA-GML.Gene   G where exists G.Annotation and not exists G.Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats3.CacheHit {
+		t.Error("canonically-equal query missed the cache")
+	}
+}
+
+func TestDisableCacheMatchesCachedResults(t *testing.T) {
+	c := corpus()
+	cached := manager(t, c, Options{})
+	plain := manager(t, c, Options{DisableCache: true})
+
+	for i := 0; i < 2; i++ { // second round exercises the hit path
+		rc, sc, err := cached.QueryString(cacheTestQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, sp, err := plain.QueryString(cacheTestQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.CacheEnabled || sp.CacheHit || sp.Cache != (qcache.Counters{}) {
+			t.Fatalf("DisableCache leaked cache state into stats: %+v", sp)
+		}
+		a, b := geneSymbols(rc, "G"), geneSymbols(rp, "G")
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round %d: cached answers %v != uncached %v", i, a, b)
+		}
+		if len(sc.SourcesQueried) != len(sp.SourcesQueried) {
+			t.Fatalf("round %d: plans diverge: %v vs %v", i, sc.SourcesQueried, sp.SourcesQueried)
+		}
+	}
+	if _, ok := plain.CacheCounters(); ok {
+		t.Error("CacheCounters reported ok for a disabled cache")
+	}
+	if _, ok := cached.CacheCounters(); !ok {
+		t.Error("CacheCounters not available on a cached manager")
+	}
+}
+
+func TestCacheInvalidatedBySourceRefresh(t *testing.T) {
+	c := corpus()
+	m := manager(t, c, Options{})
+	ll := m.Registry().Get("LocusLink")
+
+	if _, _, err := m.QueryString(cacheTestQuery); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _ := m.QueryString(cacheTestQuery)
+	if !stats.CacheHit {
+		t.Fatal("warm query should hit")
+	}
+	ll.Refresh()
+	_, stats, err := m.QueryString(cacheTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHit {
+		t.Fatal("query after source Refresh served from stale cache")
+	}
+}
+
+// End-to-end freshness after an in-place source update is covered by
+// TestFreshnessAfterSourceUpdate in mediator_test.go, which now runs with
+// the cache enabled (Options{} default).
+
+func TestFusedGraphCached(t *testing.T) {
+	m := manager(t, corpus(), Options{})
+	g1, s1, err := m.FusedGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CacheHit {
+		t.Fatal("cold FusedGraph reported a hit")
+	}
+	g2, s2, err := m.FusedGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.CacheHit || g2 != g1 {
+		t.Fatal("warm FusedGraph did not serve the cached graph")
+	}
+}
+
+func TestConcurrentIdenticalQueriesCollapse(t *testing.T) {
+	m := manager(t, corpus(), Options{})
+	const n = 16
+	var wg sync.WaitGroup
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := m.QueryString(cacheTestQuery)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sizes[i] = res.Size()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if sizes[i] != sizes[0] {
+			t.Fatalf("caller %d saw %d answers, caller 0 saw %d", i, sizes[i], sizes[0])
+		}
+	}
+	counters, ok := m.CacheCounters()
+	if !ok {
+		t.Fatal("no cache counters")
+	}
+	if counters.Misses != 1 {
+		t.Errorf("%d computes for %d concurrent identical queries, want 1 (shared=%d hits=%d)",
+			counters.Misses, n, counters.Shared, counters.Hits)
+	}
+}

@@ -1,20 +1,24 @@
 package mediator
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gml"
 	"repro/internal/lorel"
 	"repro/internal/oem"
+	"repro/internal/qcache"
 	"repro/internal/wrapper"
 )
 
 // Options tunes the query manager; the Disable* switches exist for the E8
-// optimizer-ablation experiment.
+// and E13 ablation experiments.
 type Options struct {
 	// Policy selects conflict reconciliation (default PolicyPreferPrimary).
 	Policy Policy
@@ -28,6 +32,15 @@ type Options struct {
 	Sequential bool
 	// Workers bounds the fan-out (default: GOMAXPROCS).
 	Workers int
+	// CacheSize bounds the sharded result cache in entries (default
+	// qcache.DefaultCapacity). Ignored when DisableCache is set.
+	CacheSize int
+	// CacheTTL expires cached results by age; <= 0 means results live
+	// until evicted or invalidated by a source change.
+	CacheTTL time.Duration
+	// DisableCache turns the result cache off entirely: every query
+	// recomputes the federated fan-out (the E13 ablation baseline).
+	DisableCache bool
 }
 
 // Stats reports how a query was executed — the observable effect of the
@@ -43,6 +56,15 @@ type Stats struct {
 	FetchTime      time.Duration
 	FuseTime       time.Duration
 	EvalTime       time.Duration
+
+	// Result-cache activity. CacheEnabled is false when the manager runs
+	// with DisableCache, in which case every other Cache field is zero and
+	// String() prints exactly what it printed before the cache existed.
+	// On a cache hit the timing fields above describe the original
+	// computation, not this request.
+	CacheEnabled bool
+	CacheHit     bool // answered from cache (or shared an in-flight compute)
+	Cache        qcache.Counters
 }
 
 // String summarizes the stats for explain output.
@@ -59,14 +81,30 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&sb, "pushdown=%v parallel=%v fetch=%v fuse=%v eval=%v\n",
 		s.PushdownUsed, s.Parallel, s.FetchTime.Round(time.Microsecond),
 		s.FuseTime.Round(time.Microsecond), s.EvalTime.Round(time.Microsecond))
+	if s.CacheEnabled {
+		outcome := "miss"
+		if s.CacheHit {
+			outcome = "hit"
+		}
+		fmt.Fprintf(&sb, "cache: %s (hits=%d misses=%d shared=%d evictions=%d expired=%d entries=%d)\n",
+			outcome, s.Cache.Hits, s.Cache.Misses, s.Cache.Shared,
+			s.Cache.Evictions, s.Cache.Expired, s.Cache.Entries)
+	}
 	return sb.String()
 }
 
-// Manager is the ANNODA query manager (Figure 1's mediator box).
+// Manager is the ANNODA query manager (Figure 1's mediator box). It is safe
+// for concurrent use: the registry and global model are read-only during
+// queries, and the result cache is internally synchronized.
 type Manager struct {
-	reg  *wrapper.Registry
-	gl   *gml.Global
-	opts Options
+	reg   *wrapper.Registry
+	gl    *gml.Global
+	opts  Options
+	cache *qcache.Cache // nil when DisableCache
+	// lastFP is the source-set fingerprint the cache contents were computed
+	// under; a mismatch (source refreshed, plugged in, or removed) drops
+	// every entry before the next lookup — freshness beats reuse.
+	lastFP atomic.Uint64
 }
 
 // New builds a manager over a registry and its global model.
@@ -74,7 +112,57 @@ func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Manager{reg: reg, gl: gl, opts: opts}
+	m := &Manager{reg: reg, gl: gl, opts: opts}
+	if !opts.DisableCache {
+		m.cache = qcache.New(opts.CacheSize, opts.CacheTTL)
+	}
+	return m
+}
+
+// InvalidateCache drops every cached result. Call it whenever the source
+// set or source contents change (plugging a source in, Refresh); in-flight
+// computations started before the call are completed but not stored.
+func (m *Manager) InvalidateCache() {
+	if m.cache != nil {
+		m.cache.Invalidate()
+	}
+}
+
+// CacheCounters snapshots the result cache's cumulative counters; ok is
+// false when the cache is disabled.
+func (m *Manager) CacheCounters() (qcache.Counters, bool) {
+	if m.cache == nil {
+		return qcache.Counters{}, false
+	}
+	return m.cache.Counters(), true
+}
+
+// sourceFingerprint hashes the registered source names and their model
+// versions: any Refresh, Add or Remove changes it.
+func (m *Manager) sourceFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range m.reg.All() {
+		h.Write([]byte(w.Name()))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], w.Version())
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ensureFresh invalidates the cache when the source set changed since its
+// entries were stored. Racing callers may invalidate twice; that only
+// costs a recompute, never staleness.
+func (m *Manager) ensureFresh() {
+	fp := m.sourceFingerprint()
+	if old := m.lastFP.Load(); old != fp {
+		// Invalidate before publishing the new fingerprint: a concurrent
+		// caller must never see the updated fingerprint while stale
+		// entries are still resident.
+		m.cache.Invalidate()
+		m.lastFP.CompareAndSwap(old, fp)
+	}
 }
 
 // Global returns the global model the manager mediates for.
@@ -103,7 +191,57 @@ func (m *Manager) QueryString(src string) (*lorel.Result, *Stats, error) {
 //     linking genes to annotations/diseases/proteins and reconciling
 //     conflicting attribute values;
 //  4. evaluate the original query against the fused graph.
+//
+// Results are cached on the query's canonical form: the federated fan-out
+// runs once per distinct question, concurrent identical questions collapse
+// onto one computation (singleflight), and later askers get the stored
+// result. Cached *lorel.Result values are shared — treat them as read-only.
 func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
+	if m.cache == nil {
+		return m.queryUncached(q)
+	}
+	v, stats, err := m.cachedDo("query\x00"+q.String(), func() (any, *Stats, error) {
+		return pass(m.queryUncached(q))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.(*lorel.Result), stats, nil
+}
+
+// pass adapts a concretely-typed (T, *Stats, error) return to cachedDo's
+// compute signature.
+func pass[T any](v T, stats *Stats, err error) (any, *Stats, error) { return v, stats, err }
+
+// cachedDo runs compute through the result cache under key (refreshing the
+// cache first if the source set changed) and stamps per-request cache flags
+// onto a copy of the computation's stats — the computation's Stats are
+// immutable once stored, but the flags differ per caller.
+func (m *Manager) cachedDo(key string, compute func() (any, *Stats, error)) (any, *Stats, error) {
+	m.ensureFresh()
+	type payload struct {
+		v     any
+		stats *Stats
+	}
+	v, outcome, err := m.cache.Do(key, func() (any, error) {
+		val, stats, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return &payload{v: val, stats: stats}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p := v.(*payload)
+	stats := *p.stats
+	stats.CacheEnabled = true
+	stats.CacheHit = outcome != qcache.Miss
+	stats.Cache = m.cache.Counters()
+	return p.v, &stats, nil
+}
+
+func (m *Manager) queryUncached(q *lorel.Query) (*lorel.Result, *Stats, error) {
 	an, err := m.analyze(q)
 	if err != nil {
 		return nil, nil, err
@@ -135,8 +273,22 @@ func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
 
 // FusedGraph builds and returns the full integrated graph (every concept,
 // no pushdown): the materialized "consistent view of annotation data".
-// Views and the navigation layer render from it.
+// Views and the navigation layer render from it. The graph is cached like
+// query results — callers must treat it as read-only.
 func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
+	if m.cache == nil {
+		return m.fusedGraphUncached()
+	}
+	v, stats, err := m.cachedDo("fused\x00", func() (any, *Stats, error) {
+		return pass(m.fusedGraphUncached())
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.(*oem.Graph), stats, nil
+}
+
+func (m *Manager) fusedGraphUncached() (*oem.Graph, *Stats, error) {
 	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 	pops, err := m.fetch(an, stats)

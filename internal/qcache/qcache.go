@@ -1,0 +1,274 @@
+// Package qcache is a sharded, TTL-aware LRU result cache with singleflight
+// deduplication, built for the mediator's hot path: the same biological
+// questions (Figure 5) are asked over and over against slowly-changing
+// annotation sources, so recomputing the federated fan-out per request is
+// pure waste.
+//
+// The key space is hash-partitioned over 16 independently locked shards so
+// concurrent queries for different keys never contend on one mutex. Each
+// shard keeps an intrusive LRU list bounded at capacity/16 entries; an
+// optional TTL expires entries lazily on lookup. Do() collapses concurrent
+// computations of the same key into a single call (singleflight), so a
+// thundering herd of identical questions costs one federated query.
+//
+// Invalidate() bumps a generation counter and drops every entry; in-flight
+// computations started under an older generation complete but are not
+// stored, so a source plugged in mid-query can never resurrect a stale
+// result.
+package qcache
+
+import (
+	"container/list"
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardCount is the number of hash partitions. 16 keeps per-shard mutex
+// contention negligible at server fan-in while staying cheap to clear.
+const ShardCount = 16
+
+// DefaultCapacity bounds the cache when the caller passes capacity <= 0.
+const DefaultCapacity = 256
+
+// Outcome classifies how Do obtained its value.
+type Outcome uint8
+
+const (
+	// Miss: this call ran the compute function.
+	Miss Outcome = iota
+	// Hit: the value was already cached.
+	Hit
+	// Shared: another in-flight call computed the value; this call waited
+	// (singleflight collapse).
+	Shared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	}
+	return "miss"
+}
+
+// Counters is a snapshot of the cache's cumulative activity.
+type Counters struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that ran the compute function
+	Shared    int64 // lookups collapsed onto another in-flight compute
+	Evictions int64 // entries pushed out by the LRU bound
+	Expired   int64 // entries dropped because their TTL lapsed
+	Entries   int   // live entries right now
+}
+
+// Cache is the sharded LRU. The zero value is not usable; call New.
+type Cache struct {
+	shards [ShardCount]shard
+	seed   maphash.Seed
+	ttl    time.Duration
+	perCap int
+	gen    atomic.Uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64
+	evictions atomic.Int64
+	expired   atomic.Int64
+	entries   atomic.Int64
+
+	// now is the clock; tests swap it to drive TTL expiry deterministically.
+	now func() time.Time
+}
+
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recent
+	inflight map[string]*call
+}
+
+type entry struct {
+	key     string
+	value   any
+	expires time.Time // zero = never
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// New builds a cache bounded at roughly capacity entries total
+// (DefaultCapacity when capacity <= 0). The bound is enforced per shard, so
+// the effective total is capacity rounded UP to the next multiple of
+// ShardCount (minimum ShardCount) — never below what was requested.
+// ttl <= 0 means entries never expire by age.
+func New(capacity int, ttl time.Duration) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perCap := (capacity + ShardCount - 1) / ShardCount
+	if perCap < 1 {
+		perCap = 1
+	}
+	c := &Cache{seed: maphash.MakeSeed(), ttl: ttl, perCap: perCap, now: time.Now}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*list.Element{}
+		c.shards[i].lru = list.New()
+		c.shards[i].inflight = map[string]*call{}
+	}
+	return c
+}
+
+// shardIndex hash-partitions a key.
+func (c *Cache) shardIndex(key string) int {
+	return int(maphash.String(c.seed, key) % ShardCount)
+}
+
+// Get returns the cached value for key, if present and unexpired.
+func (c *Cache) Get(key string) (any, bool) {
+	sh := &c.shards[c.shardIndex(key)]
+	sh.mu.Lock()
+	v, ok := c.getLocked(sh, key)
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// getLocked looks key up in sh, expiring it lazily; sh.mu must be held.
+func (c *Cache) getLocked(sh *shard, key string) (any, bool) {
+	el, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+		c.expired.Add(1)
+		c.entries.Add(-1)
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	return e.value, true
+}
+
+// Put stores value under key, evicting the shard's LRU tail past capacity.
+func (c *Cache) Put(key string, value any) {
+	sh := &c.shards[c.shardIndex(key)]
+	sh.mu.Lock()
+	c.putLocked(sh, key, value)
+	sh.mu.Unlock()
+}
+
+func (c *Cache) putLocked(sh *shard, key string, value any) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*entry)
+		e.value, e.expires = value, expires
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.entries[key] = sh.lru.PushFront(&entry{key: key, value: value, expires: expires})
+	c.entries.Add(1)
+	for sh.lru.Len() > c.perCap {
+		tail := sh.lru.Back()
+		sh.lru.Remove(tail)
+		delete(sh.entries, tail.Value.(*entry).key)
+		c.evictions.Add(1)
+		c.entries.Add(-1)
+	}
+}
+
+// Do returns the cached value for key, or computes it with fn exactly once
+// even under concurrent callers: the first caller runs fn while the rest
+// block and share its result. Errors are not cached — every Do after a
+// failed compute retries.
+func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
+	sh := &c.shards[c.shardIndex(key)]
+	sh.mu.Lock()
+	if v, ok := c.getLocked(sh, key); ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return v, Hit, nil
+	}
+	if cl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.shared.Add(1)
+		cl.wg.Wait()
+		return cl.val, Shared, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	sh.inflight[key] = cl
+	gen := c.gen.Load()
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	// The bookkeeping is deferred so a panicking fn cannot wedge the key:
+	// without it the inflight entry would never be removed and every later
+	// caller would block forever in wg.Wait.
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		// Store only when no Invalidate raced with the compute: a result
+		// built over the old source set must not outlive it.
+		if cl.err == nil && c.gen.Load() == gen {
+			c.putLocked(sh, key, cl.val)
+		}
+		sh.mu.Unlock()
+		cl.wg.Done()
+	}()
+	cl.err = errPanicked
+	cl.val, cl.err = fn()
+	return cl.val, Miss, cl.err
+}
+
+// errPanicked is what collapsed waiters observe when the computing caller
+// panicked: cl.err is pre-set before fn runs and only overwritten on normal
+// return, so waiters fail cleanly instead of sharing a half-built value.
+var errPanicked = errors.New("qcache: compute panicked")
+
+// Invalidate drops every cached entry and fences in-flight computations so
+// their results are discarded rather than stored.
+func (c *Cache) Invalidate() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		c.entries.Add(-int64(sh.lru.Len()))
+		sh.entries = map[string]*list.Element{}
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}
+
+// Len reports the number of live entries across all shards. It reads a
+// live atomic counter — no shard locks — so the cached hot path can snapshot
+// Counters without serializing on the partitions it was built to avoid.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Counters snapshots the cumulative hit/miss/evict counters.
+func (c *Cache) Counters() Counters {
+	return Counters{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Entries:   c.Len(),
+	}
+}

@@ -1,0 +1,366 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// keysInShard returns n distinct keys that all hash to the same shard, so
+// LRU-order tests are immune to the hash partitioning.
+func keysInShard(c *Cache, n int) []string {
+	want := -1
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s := c.shardIndex(k)
+		if want == -1 {
+			want = s
+		}
+		if s == want {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestShardDistribution(t *testing.T) {
+	c := New(4096, 0)
+	tests := []struct {
+		name string
+		keys int
+		// minShards is the minimum number of distinct shards the keys must
+		// spread over (probabilistic bound, astronomically safe at these
+		// sizes for any uniform hash).
+		minShards int
+	}{
+		{"few keys land somewhere", 4, 1},
+		{"many keys spread", 256, 8},
+		{"all shards used eventually", 4096, ShardCount},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			used := map[int]bool{}
+			for i := 0; i < tt.keys; i++ {
+				k := fmt.Sprintf("%s-%d", tt.name, i)
+				s := c.shardIndex(k)
+				if s < 0 || s >= ShardCount {
+					t.Fatalf("shardIndex(%q) = %d out of range", k, s)
+				}
+				if again := c.shardIndex(k); again != s {
+					t.Fatalf("shardIndex(%q) unstable: %d then %d", k, s, again)
+				}
+				used[s] = true
+			}
+			if len(used) < tt.minShards {
+				t.Errorf("%d keys used %d shards, want >= %d", tt.keys, len(used), tt.minShards)
+			}
+		})
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	tests := []struct {
+		name    string
+		perCap  int // per-shard capacity (capacity = perCap * ShardCount)
+		insert  int
+		touch   []int // indices re-Got before the overflowing insert
+		evicted []int // indices that must be gone afterwards
+		kept    []int // indices that must survive
+	}{
+		{
+			name:   "oldest evicted first",
+			perCap: 3, insert: 4,
+			evicted: []int{0}, kept: []int{1, 2, 3},
+		},
+		{
+			name:   "Get refreshes recency",
+			perCap: 3, insert: 4, touch: []int{0},
+			evicted: []int{1}, kept: []int{0, 2, 3},
+		},
+		{
+			name:   "overwrite refreshes recency",
+			perCap: 2, insert: 3, touch: []int{0}, // touch via Put below
+			evicted: []int{1}, kept: []int{0, 2},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New(tt.perCap*ShardCount, 0)
+			keys := keysInShard(c, tt.insert)
+			for i := 0; i < tt.perCap; i++ {
+				c.Put(keys[i], i)
+			}
+			for _, i := range tt.touch {
+				if _, ok := c.Get(keys[i]); !ok {
+					c.Put(keys[i], i) // overwrite path
+				}
+			}
+			for i := tt.perCap; i < tt.insert; i++ {
+				c.Put(keys[i], i)
+			}
+			for _, i := range tt.evicted {
+				if _, ok := c.Get(keys[i]); ok {
+					t.Errorf("key %d should have been evicted", i)
+				}
+			}
+			for _, i := range tt.kept {
+				if v, ok := c.Get(keys[i]); !ok || v.(int) != i {
+					t.Errorf("key %d should have survived with value %d, got %v %v", i, i, v, ok)
+				}
+			}
+			if got := c.Counters().Evictions; got != int64(tt.insert-tt.perCap) {
+				t.Errorf("evictions = %d, want %d", got, tt.insert-tt.perCap)
+			}
+		})
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	tests := []struct {
+		name    string
+		ttl     time.Duration
+		advance time.Duration
+		alive   bool
+	}{
+		{"fresh entry survives", time.Minute, 30 * time.Second, true},
+		{"entry at exactly ttl expires", time.Minute, time.Minute, false},
+		{"entry past ttl expires", time.Minute, 2 * time.Minute, false},
+		{"zero ttl never expires", 0, 24 * time.Hour, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New(64, tt.ttl)
+			now := time.Unix(1_000_000, 0)
+			c.now = func() time.Time { return now }
+			c.Put("k", "v")
+			now = now.Add(tt.advance)
+			_, ok := c.Get("k")
+			if ok != tt.alive {
+				t.Fatalf("after %v with ttl %v: alive=%v, want %v", tt.advance, tt.ttl, ok, tt.alive)
+			}
+			if !tt.alive {
+				if exp := c.Counters().Expired; exp != 1 {
+					t.Errorf("expired counter = %d, want 1", exp)
+				}
+				if c.Len() != 0 {
+					t.Errorf("expired entry still resident: Len=%d", c.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	tests := []struct {
+		name       string
+		goroutines int
+	}{
+		{"two callers", 2},
+		{"herd of 32", 32},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New(64, 0)
+			var computes atomic.Int64
+			release := make(chan struct{})
+			started := make(chan struct{})
+			var once sync.Once
+
+			var wg sync.WaitGroup
+			outcomes := make([]Outcome, tt.goroutines)
+			values := make([]any, tt.goroutines)
+			for i := 0; i < tt.goroutines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					v, out, err := c.Do("hot", func() (any, error) {
+						once.Do(func() { close(started) })
+						<-release // hold every concurrent caller at the door
+						computes.Add(1)
+						return "answer", nil
+					})
+					if err != nil {
+						t.Error(err)
+					}
+					outcomes[i], values[i] = out, v
+				}(i)
+			}
+			<-started
+			// Give the rest of the herd time to reach Do and block.
+			time.Sleep(10 * time.Millisecond)
+			close(release)
+			wg.Wait()
+
+			if n := computes.Load(); n != 1 {
+				t.Fatalf("compute ran %d times, want 1", n)
+			}
+			misses, shareds := 0, 0
+			for i := range outcomes {
+				if values[i] != "answer" {
+					t.Fatalf("caller %d got %v", i, values[i])
+				}
+				switch outcomes[i] {
+				case Miss:
+					misses++
+				case Shared:
+					shareds++
+				}
+			}
+			if misses != 1 {
+				t.Errorf("%d Miss outcomes, want exactly 1 (got %d Shared)", misses, shareds)
+			}
+			// A later call is a plain hit.
+			if _, out, _ := c.Do("hot", func() (any, error) { return nil, errors.New("must not run") }); out != Hit {
+				t.Errorf("follow-up outcome = %v, want Hit", out)
+			}
+		})
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(64, 0)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	ran := false
+	v, out, err := c.Do("k", func() (any, error) { ran = true; return 7, nil })
+	if err != nil || !ran || out != Miss || v.(int) != 7 {
+		t.Fatalf("retry after error: v=%v out=%v err=%v ran=%v", v, out, err, ran)
+	}
+}
+
+// TestDoPanicDoesNotWedgeKey: a panicking compute must unregister its
+// in-flight entry (so the key stays computable) and fail any collapsed
+// waiters instead of blocking them forever.
+func TestDoPanicDoesNotWedgeKey(t *testing.T) {
+	c := New(64, 0)
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		c.Do("k", func() (any, error) {
+			close(inCompute)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	<-inCompute
+	go func() {
+		_, _, err := c.Do("k", func() (any, error) { return "unreachable", nil })
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter collapse onto the panicking call
+	close(release)
+	select {
+	case err := <-waiterDone:
+		// Overwhelmingly the waiter collapsed onto the panicked call and
+		// must see its error; in the rare schedule where it arrived after
+		// cleanup it computed fresh with a nil error — both prove no wedge.
+		_ = err
+	case <-time.After(2 * time.Second):
+		t.Fatal("collapsed waiter wedged after compute panicked")
+	}
+	// The key must be computable again.
+	v, out, err := c.Do("k", func() (any, error) { return "recovered", nil })
+	if err != nil || out != Miss || v != "recovered" {
+		t.Fatalf("key wedged after panic: v=%v out=%v err=%v", v, out, err)
+	}
+}
+
+func TestCapacityRoundsUpNotDown(t *testing.T) {
+	// Requesting less than one entry per shard must still admit at least
+	// the requested number of entries (never silently shrink to zero).
+	c := New(8, 0)
+	keys := keysInShard(c, 2)
+	c.Put(keys[0], 1)
+	c.Put(keys[1], 2) // same shard, perCap 1: evicts keys[0]
+	if _, ok := c.Get(keys[1]); !ok {
+		t.Fatal("second insert evicted itself")
+	}
+	if c.Counters().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Counters().Evictions)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64, 0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("Len=%d after Invalidate, want 0", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+}
+
+// TestInvalidateFencesInflight: a compute that started before Invalidate
+// must not store its (stale) result afterwards.
+func TestInvalidateFencesInflight(t *testing.T) {
+	c := New(64, 0)
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do("k", func() (any, error) {
+			close(inCompute)
+			<-release
+			return "stale", nil
+		})
+	}()
+	<-inCompute
+	c.Invalidate()
+	close(release)
+	<-done
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stale in-flight result was stored across Invalidate")
+	}
+}
+
+func TestCountersAndLen(t *testing.T) {
+	c := New(64, 0)
+	c.Put("a", 1)
+	c.Get("a")    // hit
+	c.Get("nope") // miss
+	got := c.Counters()
+	if got.Hits != 1 || got.Misses != 1 || got.Entries != 1 {
+		t.Fatalf("counters = %+v, want 1 hit, 1 miss, 1 entry", got)
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(128, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%37)
+				switch i % 4 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Do(k, func() (any, error) { return i, nil })
+				case 3:
+					if i%100 == 3 {
+						c.Invalidate()
+					}
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Counters() // must not race
+}

@@ -48,6 +48,9 @@ func (w *LocusLinkWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
 // Refresh implements Wrapper.
 func (w *LocusLinkWrapper) Refresh() { w.cache.invalidate() }
 
+// Version reports the model version (bumped by Refresh).
+func (w *LocusLinkWrapper) Version() uint64 { return w.cache.version() }
+
 func (w *LocusLinkWrapper) buildModel() (*oem.Graph, error) {
 	g := oem.NewGraph()
 	var entities []oem.Ref
@@ -108,6 +111,9 @@ func (w *GoWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
 
 // Refresh implements Wrapper.
 func (w *GoWrapper) Refresh() { w.cache.invalidate() }
+
+// Version reports the model version (bumped by Refresh).
+func (w *GoWrapper) Version() uint64 { return w.cache.version() }
 
 func (w *GoWrapper) buildModel() (*oem.Graph, error) {
 	g := oem.NewGraph()
@@ -181,6 +187,9 @@ func (w *OMIMWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
 // Refresh implements Wrapper.
 func (w *OMIMWrapper) Refresh() { w.cache.invalidate() }
 
+// Version reports the model version (bumped by Refresh).
+func (w *OMIMWrapper) Version() uint64 { return w.cache.version() }
+
 func (w *OMIMWrapper) buildModel() (*oem.Graph, error) {
 	g := oem.NewGraph()
 	var rootRefs []oem.Ref
@@ -238,6 +247,9 @@ func (w *ProtWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
 
 // Refresh implements Wrapper.
 func (w *ProtWrapper) Refresh() { w.cache.invalidate() }
+
+// Version reports the model version (bumped by Refresh).
+func (w *ProtWrapper) Version() uint64 { return w.cache.version() }
 
 func (w *ProtWrapper) buildModel() (*oem.Graph, error) {
 	g := oem.NewGraph()

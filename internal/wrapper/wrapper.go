@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/oem"
 )
@@ -36,6 +37,9 @@ type Wrapper interface {
 	// from native storage (the federated architecture's freshness
 	// property: queries always see current source data).
 	Refresh()
+	// Version increments on every Refresh. Result caches fingerprint the
+	// source set with it so a refreshed source invalidates stale entries.
+	Version() uint64
 }
 
 // LabelInfo describes one label of an entity in an OML model.
@@ -143,6 +147,7 @@ type cachedModel struct {
 	mu    sync.Mutex
 	graph *oem.Graph
 	build func() (*oem.Graph, error)
+	ver   atomic.Uint64
 }
 
 func (c *cachedModel) get() (*oem.Graph, error) {
@@ -163,7 +168,10 @@ func (c *cachedModel) invalidate() {
 	c.mu.Lock()
 	c.graph = nil
 	c.mu.Unlock()
+	c.ver.Add(1)
 }
+
+func (c *cachedModel) version() uint64 { return c.ver.Load() }
 
 // Registry holds the wrappers plugged into an ANNODA instance. Plugging in
 // a new source at runtime is the paper's second design requirement.
