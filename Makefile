@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench serve clean
+.PHONY: check vet build test race bench bench-smoke serve clean
 
 # check is the tier-1 gate: vet, build, and the full test tree under -race.
 check: vet build race
@@ -21,6 +21,12 @@ race:
 # statistically careful run.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 5x .
+
+# bench-smoke compiles and runs every benchmark in the tree exactly once so
+# CI catches benchmarks that no longer build or crash — they must not rot
+# silently between careful runs.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 serve:
 	$(GO) run ./cmd/annoda-server

@@ -5,6 +5,7 @@
 package main_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/capability"
@@ -428,6 +429,145 @@ func BenchmarkE13_DistinctQuestionsCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sys.Ask(questions[i%len(questions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E14: compiled query plans + fused-snapshot eval-only fast path ---------
+
+// e14Query is a repeated-shape query over the fused graph: the paper's
+// Figure 5(b) question in raw Lorel.
+const e14Query = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+
+func e14Fused(b *testing.B, genes int) (*core.System, *oem.Graph) {
+	b.Helper()
+	sys := benchSystem(b, genes)
+	g, _, err := sys.Manager.FusedGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, g
+}
+
+// BenchmarkE14_RepeatShapeCompiled: compile once, evaluate many — the plan
+// cache's steady state for a repeated query shape.
+func BenchmarkE14_RepeatShapeCompiled(b *testing.B) {
+	_, g := e14Fused(b, 1000)
+	plan, err := lorel.Compile(lorel.MustParse(e14Query))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Eval(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14_RepeatShapeInterpreted: the compile-then-run shim — what
+// every evaluation paid before plans existed.
+func BenchmarkE14_RepeatShapeInterpreted(b *testing.B) {
+	_, g := e14Fused(b, 1000)
+	q := lorel.MustParse(e14Query)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lorel.Eval(g, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Selective variant: one-gene answer, so traversal and compilation dominate
+// over answer construction.
+func benchmarkE14Selective(b *testing.B, compiled bool) {
+	sys, g := e14Fused(b, 1000)
+	src := `select G.Symbol from ANNODA-GML.Gene G where G.Symbol = "` + sys.Corpus.Genes[0].Symbol + `"`
+	q := lorel.MustParse(src)
+	plan, err := lorel.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if compiled {
+			_, err = plan.Eval(g)
+		} else {
+			_, err = lorel.Eval(g, q)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14_SelectiveCompiled(b *testing.B)    { benchmarkE14Selective(b, true) }
+func BenchmarkE14_SelectiveInterpreted(b *testing.B) { benchmarkE14Selective(b, false) }
+
+// e14Distinct generates the i-th of 1024 distinct snapshot-safe questions:
+// the base query plus a bit-selected set of structural conjuncts. None of
+// the conjuncts is pushdown-eligible (complex or multi-step paths), so every
+// question qualifies for the eval-only snapshot path.
+func e14Distinct(i int) string {
+	opts := [...]string{
+		" and exists G.Annotation",
+		" and exists G.Annotation.GoID",
+		" and exists G.Annotation.Evidence",
+		" and exists G.Annotation.Term",
+		" and exists G.Annotation.Organism",
+		" and exists G.Links",
+		" and exists G.Links.GO",
+		" and exists G.Links.OMIM",
+		" and not exists G.Disease",
+		" and not exists G.Disease.MimNumber",
+	}
+	var sb strings.Builder
+	sb.WriteString(e14Query)
+	for bit := 0; bit < len(opts); bit++ {
+		if i&(1<<bit) != 0 {
+			sb.WriteString(opts[bit])
+		}
+	}
+	return sb.String()
+}
+
+// BenchmarkE14_DistinctQuestionsSnapshot: every iteration asks a question
+// the result cache has never seen, over an unchanged source set — the
+// snapshot fast path answers eval-only, sharing one fused graph.
+func BenchmarkE14_DistinctQuestionsSnapshot(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := sys.Query(e14Distinct(i % 1024))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i < 1024 && !stats.SnapshotUsed {
+			b.Fatal("distinct question missed the snapshot fast path")
+		}
+	}
+}
+
+// BenchmarkE14_DistinctQuestionsFullPipeline: the same distinct questions
+// with the cache (and with it the snapshot path) disabled — every question
+// pays fetch+fuse+eval, which is what every question cost before.
+func BenchmarkE14_DistinctQuestionsFullPipeline(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{DisableCache: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Query(e14Distinct(i % 1024)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,7 @@
 // Command annoda-bench regenerates every table and figure of the ANNODA
 // paper (and the quantitative experiments attached to them) from the live
 // implementations in this repository. Run with no flags for everything, or
-// -exp E5 for one experiment. See EXPERIMENTS.md for the index.
+// -exp E5 for one experiment (E1..E14). See EXPERIMENTS.md for the index.
 package main
 
 import (
@@ -46,10 +46,10 @@ func main() {
 	runners := map[string]func(*datagen.Corpus, *core.System){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
-		"E13": e13,
+		"E13": e13, "E14": e14,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -461,6 +461,80 @@ func e13(c *datagen.Corpus, sys *core.System) {
 	if conc["cached"] > 0 {
 		fmt.Printf("concurrent speedup (uncached/cached): %.1fx\n",
 			float64(conc["uncached"])/float64(conc["cached"]))
+	}
+}
+
+// E14 — compiled query plans and the fused-snapshot eval-only fast path:
+// repeated-shape evaluation with a reused plan vs per-call compilation, and
+// distinct questions answered eval-only against one shared fused graph vs
+// paying fetch+fuse per question.
+func e14(c *datagen.Corpus, sys *core.System) {
+	const query = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+	g, _, err := sys.Manager.FusedGraph()
+	if err != nil {
+		fatal(err)
+	}
+	const rounds = 25
+
+	plan, err := lorel.Compile(lorel.MustParse(query))
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := plan.Eval(g); err != nil {
+			fatal(err)
+		}
+	}
+	compiled := time.Since(t0) / rounds
+
+	q := lorel.MustParse(query)
+	t1 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := lorel.Eval(g, q); err != nil {
+			fatal(err)
+		}
+	}
+	interpreted := time.Since(t1) / rounds
+
+	fmt.Println("repeated-shape eval over the fused graph (plan reuse vs per-call compile):")
+	fmt.Printf("  %-22s %v/eval\n", "compiled (plan reuse)", compiled.Round(time.Microsecond))
+	fmt.Printf("  %-22s %v/eval\n", "compile-then-run", interpreted.Round(time.Microsecond))
+
+	// Distinct questions over an unchanged source set: the snapshot path
+	// shares one fused graph; the ablation recomputes fetch+fuse per ask.
+	variants := []string{
+		query,
+		query + " and exists G.Annotation.GoID",
+		query + " and exists G.Annotation.Evidence",
+		query + " and exists G.Links",
+		query + " and exists G.Annotation.Term and exists G.Links.GO",
+	}
+	fmt.Printf("\ndistinct questions, unchanged sources (%d distinct):\n", len(variants))
+	for _, cf := range []struct {
+		name string
+		opts mediator.Options
+	}{
+		{"snapshot (eval-only)", mediator.Options{}},
+		{"full pipeline", mediator.Options{DisableCache: true}},
+	} {
+		s, err := core.New(c, cf.opts)
+		if err != nil {
+			fatal(err)
+		}
+		t := time.Now()
+		for _, v := range variants {
+			if _, _, err := s.Query(v); err != nil {
+				fatal(err)
+			}
+		}
+		el := time.Since(t)
+		line := fmt.Sprintf("  %-22s %v total, %v/question", cf.name,
+			el.Round(time.Millisecond), (el / time.Duration(len(variants))).Round(time.Microsecond))
+		if sc, ok := s.Manager.SnapshotCounters(); ok {
+			line += fmt.Sprintf("  (snapshot hits=%d misses=%d)", sc.Hits, sc.Misses)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -342,6 +342,41 @@ func TestStatszCountsRequestsAndCache(t *testing.T) {
 	}
 }
 
+// TestStatszSnapshotCounters: a snapshot-eligible API query must show up as
+// a snapshot hit in /statsz and flag snapshot_used in its own stats.
+func TestStatszSnapshotCounters(t *testing.T) {
+	h := newMux(testSystem(t), 0)
+	// The query must touch every mapped concept (the test system has ProtDB
+	// plugged in) so nothing is pruned and the snapshot path is eligible.
+	rec := get(t, h, "/api/query?q="+url.QueryEscape(
+		`select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease and exists G.Protein`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/query = %d: %s", rec.Code, rec.Body)
+	}
+	var qresp struct {
+		Stats statsJSON `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qresp); err != nil {
+		t.Fatal(err)
+	}
+	if !qresp.Stats.SnapshotUsed {
+		t.Error("snapshot_used not set on an eligible query's stats")
+	}
+	rec = get(t, h, "/statsz")
+	var resp struct {
+		Snapshot *struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Snapshot == nil || resp.Snapshot.Hits < 1 {
+		t.Fatalf("snapshot counters missing from /statsz: %s", rec.Body)
+	}
+}
+
 // TestStatszPathCounterBounded: a scan over arbitrary URLs must not grow
 // the per-path map without bound — overflow paths aggregate as "(other)".
 func TestStatszPathCounterBounded(t *testing.T) {

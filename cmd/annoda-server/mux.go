@@ -141,7 +141,9 @@ type statsJSON struct {
 	SourcesPruned  []string   `json:"sources_pruned,omitempty"`
 	Conflicts      int        `json:"conflicts"`
 	Pushdown       bool       `json:"pushdown"`
+	PushdownFB     int        `json:"pushdown_fallbacks,omitempty"`
 	Parallel       bool       `json:"parallel"`
+	SnapshotUsed   bool       `json:"snapshot_used,omitempty"`
 	FetchMicros    int64      `json:"fetch_micros"`
 	FuseMicros     int64      `json:"fuse_micros"`
 	EvalMicros     int64      `json:"eval_micros"`
@@ -174,7 +176,9 @@ func mediatorStats(st *mediator.Stats) statsJSON {
 		SourcesPruned:  st.SourcesPruned,
 		Conflicts:      len(st.Conflicts),
 		Pushdown:       st.PushdownUsed,
+		PushdownFB:     st.PushdownFallbacks,
 		Parallel:       st.Parallel,
+		SnapshotUsed:   st.SnapshotUsed,
 		FetchMicros:    st.FetchTime.Microseconds(),
 		FuseMicros:     st.FuseTime.Microseconds(),
 		EvalMicros:     st.EvalTime.Microseconds(),
@@ -349,6 +353,11 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		resp["cache"] = nil
+	}
+	if sc, ok := s.sys.Manager.SnapshotCounters(); ok {
+		resp["snapshot"] = map[string]int64{"hits": sc.Hits, "misses": sc.Misses}
+	} else {
+		resp["snapshot"] = nil
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

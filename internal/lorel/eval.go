@@ -27,100 +27,15 @@ func (r *Result) Size() int {
 	return len(r.Graph.Get(r.Answer).Refs)
 }
 
-// Eval runs a query against one OEM graph. Path bases resolve first against
-// range variables bound by earlier from-clauses, then against the graph's
-// named roots.
+// Eval runs a query against one OEM graph by compiling it and evaluating
+// the plan once. Callers that evaluate the same query shape repeatedly
+// should Compile once and reuse the Plan.
 func Eval(g *oem.Graph, q *Query) (*Result, error) {
-	if len(q.From) == 0 {
-		return nil, fmt.Errorf("lorel: query has no from clause")
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Graph: oem.NewGraph(), Origin: make(map[oem.OID]oem.OID)}
-	res.Answer = res.Graph.NewComplex()
-	res.Graph.SetRoot("answer", res.Answer)
-
-	// Precompile from-clause and select-item NFAs.
-	fromNFA := make([]*nfa, len(q.From))
-	for i, f := range q.From {
-		fromNFA[i] = compileSteps(f.Path.Steps)
-	}
-	selNFA := make([]*nfa, len(q.Select))
-	for i, s := range q.Select {
-		selNFA[i] = compileSteps(s.Path.Steps)
-	}
-
-	imported := make(map[oem.OID]oem.OID) // source oid -> answer oid
-	type edgeKey struct {
-		label string
-		src   oem.OID
-	}
-	added := make(map[edgeKey]bool)
-
-	env := make(map[string]oem.OID)
-	var evalErr error
-	var recur func(level int) bool
-	recur = func(level int) bool {
-		if level == len(q.From) {
-			ok, err := evalCond(g, env, q.Where)
-			if err != nil {
-				evalErr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-			res.Bindings++
-			for i, item := range q.Select {
-				starts, err := pathStarts(g, env, item.Path)
-				if err != nil {
-					evalErr = err
-					return false
-				}
-				label := item.EdgeLabel()
-				for _, src := range evalNFA(g, selNFA[i], starts) {
-					k := edgeKey{label: label, src: src}
-					if added[k] {
-						continue // duplicate elimination by oid
-					}
-					added[k] = true
-					dst, ok := imported[src]
-					if !ok {
-						var err error
-						dst, err = importShared(res.Graph, g, src, imported)
-						if err != nil {
-							evalErr = err
-							return false
-						}
-						res.Origin[dst] = src
-					}
-					if err := res.Graph.AddRef(res.Answer, label, dst); err != nil {
-						evalErr = err
-						return false
-					}
-				}
-			}
-			return true
-		}
-		f := q.From[level]
-		starts, err := pathStarts(g, env, f.Path)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		name := f.BindName()
-		for _, oid := range evalNFA(g, fromNFA[level], starts) {
-			env[name] = oid
-			if !recur(level + 1) {
-				return false
-			}
-		}
-		delete(env, name)
-		return true
-	}
-	recur(0)
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	return res, nil
+	return p.Eval(g)
 }
 
 // importShared copies the subgraph rooted at src into dst, reusing objects
@@ -136,15 +51,20 @@ func importShared(dst *oem.Graph, srcG *oem.Graph, src oem.OID, imported map[oem
 	switch so.Kind {
 	case oem.KindComplex:
 		d := dst.NewComplex()
-		imported[src] = d
+		imported[src] = d // registered before recursing so cycles terminate
+		if len(so.Refs) == 0 {
+			return d, nil
+		}
+		refs := make([]oem.Ref, 0, len(so.Refs))
 		for _, r := range so.Refs {
 			t, err := importShared(dst, srcG, r.Target, imported)
 			if err != nil {
 				return 0, err
 			}
-			if err := dst.AddRef(d, r.Label, t); err != nil {
-				return 0, err
-			}
+			refs = append(refs, oem.Ref{Label: r.Label, Target: t})
+		}
+		if err := dst.SetRefs(d, refs); err != nil {
+			return 0, err
 		}
 		return d, nil
 	case oem.KindInt:
@@ -175,158 +95,17 @@ func importShared(dst *oem.Graph, srcG *oem.Graph, src oem.OID, imported map[oem
 	return 0, fmt.Errorf("lorel: cannot import %v", so.Kind)
 }
 
-// pathStarts resolves a path's base to its start objects: a bound range
-// variable first, then a graph root. Unknown bases are errors — typos in
-// queries should not silently yield empty answers.
-func pathStarts(g *oem.Graph, env map[string]oem.OID, p Path) ([]oem.OID, error) {
-	if oid, ok := env[p.Base]; ok {
-		return []oem.OID{oid}, nil
-	}
-	// Roots match case-insensitively like labels.
-	for _, r := range g.Roots() {
-		if equalFold(r.Name, p.Base) {
-			return []oem.OID{r.OID}, nil
-		}
-	}
-	return nil, fmt.Errorf("lorel: unknown variable or root %q", p.Base)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
-}
-
-// EvalCond evaluates one condition under an explicit variable binding; the
-// mediator uses it to push single-variable predicates down to per-source
-// entity streams before fusion.
+// EvalCond evaluates one condition under an explicit variable binding by
+// compiling it on the fly — a convenience shim for one-off evaluation. It
+// pays a full condition compile per call; anything evaluating the same
+// condition repeatedly (the mediator's pushdown compiles once per source)
+// should use CompileCond.
 func EvalCond(g *oem.Graph, env map[string]oem.OID, c Cond) (bool, error) {
-	return evalCond(g, env, c)
-}
-
-func evalCond(g *oem.Graph, env map[string]oem.OID, c Cond) (bool, error) {
-	switch x := c.(type) {
-	case nil:
-		return true, nil
-	case AndCond:
-		l, err := evalCond(g, env, x.L)
-		if err != nil || !l {
-			return false, err
-		}
-		return evalCond(g, env, x.R)
-	case OrCond:
-		l, err := evalCond(g, env, x.L)
-		if err != nil {
-			return false, err
-		}
-		if l {
-			return true, nil
-		}
-		return evalCond(g, env, x.R)
-	case NotCond:
-		v, err := evalCond(g, env, x.E)
-		if err != nil {
-			return false, err
-		}
-		return !v, nil
-	case ExistsCond:
-		starts, err := pathStarts(g, env, x.P)
-		if err != nil {
-			return false, err
-		}
-		return len(EvalPath(g, x.P.Steps, starts)) > 0, nil
-	case CmpCond:
-		return evalCmp(g, env, x)
-	}
-	return false, fmt.Errorf("lorel: unknown condition %T", c)
-}
-
-// evalCmp applies existential comparison semantics: the predicate is true
-// when SOME value pair drawn from the two operands satisfies the operator.
-func evalCmp(g *oem.Graph, env map[string]oem.OID, c CmpCond) (bool, error) {
-	ls, err := operandValues(g, env, c.L)
+	cp, err := CompileCond(c)
 	if err != nil {
 		return false, err
 	}
-	rs, err := operandValues(g, env, c.R)
-	if err != nil {
-		return false, err
-	}
-	for _, l := range ls {
-		for _, r := range rs {
-			if c.Op == OpLike {
-				if r.Kind == oem.KindString && oem.Like(l, r.Str) {
-					return true, nil
-				}
-				continue
-			}
-			cmp, ok := oem.Compare(l, r)
-			if !ok {
-				continue
-			}
-			switch c.Op {
-			case OpEq:
-				if cmp == 0 {
-					return true, nil
-				}
-			case OpNe:
-				if cmp != 0 {
-					return true, nil
-				}
-			case OpLt:
-				if cmp < 0 {
-					return true, nil
-				}
-			case OpLe:
-				if cmp <= 0 {
-					return true, nil
-				}
-			case OpGt:
-				if cmp > 0 {
-					return true, nil
-				}
-			case OpGe:
-				if cmp >= 0 {
-					return true, nil
-				}
-			}
-		}
-	}
-	return false, nil
-}
-
-// operandValues materializes an operand into atomic objects: literal values
-// become synthetic atoms; paths yield the atomic objects they reach
-// (complex objects are skipped — they are incomparable in Lorel).
-func operandValues(g *oem.Graph, env map[string]oem.OID, o Operand) ([]*oem.Object, error) {
-	if o.Lit != nil {
-		return []*oem.Object{litObject(o.Lit)}, nil
-	}
-	starts, err := pathStarts(g, env, *o.Path)
-	if err != nil {
-		return nil, err
-	}
-	var out []*oem.Object
-	for _, oid := range EvalPath(g, o.Path.Steps, starts) {
-		obj := g.Get(oid)
-		if obj != nil && obj.IsAtomic() {
-			out = append(out, obj)
-		}
-	}
-	return out, nil
+	return cp.Eval(g, env)
 }
 
 func litObject(l *Literal) *oem.Object {

@@ -1,7 +1,9 @@
 package lorel
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/oem"
@@ -421,5 +423,141 @@ func TestCycleSafety(t *testing.T) {
 	}
 	if n := len(r.Graph.Children(r.Answer, "V")); n != 1 {
 		t.Fatalf("%d V edges", n)
+	}
+}
+
+// TestPlanReuseMatchesEval: one compiled plan evaluated repeatedly (and
+// against different graphs) must answer exactly like per-call Eval.
+func TestPlanReuseMatchesEval(t *testing.T) {
+	q := MustParse(`select X from DB.Gene X where exists X.Links.GO and X.Organism = "Homo sapiens"`)
+	plan, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		g := testGraph(t)
+		want, err := Eval(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.Eval(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, gs := symbolsOf(t, want, "X"), symbolsOf(t, got, "X")
+		if len(ws) == 0 || !reflect.DeepEqual(ws, gs) {
+			t.Fatalf("round %d: plan answers %v, Eval answers %v", round, gs, ws)
+		}
+		if oem.TextString(want.Graph, "answer", want.Answer) != oem.TextString(got.Graph, "answer", got.Answer) {
+			t.Fatalf("round %d: plan answer graph diverges from Eval's", round)
+		}
+	}
+}
+
+// TestPlanConcurrentEval: a cached plan is shared across request
+// goroutines; concurrent Evals must not trample each other's scratch.
+func TestPlanConcurrentEval(t *testing.T) {
+	g := testGraph(t)
+	plan, err := Compile(MustParse(`select X from DB.Gene X where exists X.Links.GO`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := plan.Eval(g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sizes[i] = r.Size()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if sizes[i] != 2 {
+			t.Fatalf("goroutine %d saw %d answers, want 2", i, sizes[i])
+		}
+	}
+}
+
+// TestNonASCIIFolding: roots and labels must fold the same way for
+// non-ASCII names. The old hand-rolled ASCII fold matched "DB" but not
+// "ΔΒ", while labels went through Unicode ToLower — inconsistent.
+func TestNonASCIIFolding(t *testing.T) {
+	g := oem.NewGraph()
+	gene := g.NewComplex(oem.Ref{Label: "Σύμβολο", Target: g.NewString("FOSB")})
+	root := g.NewComplex(oem.Ref{Label: "Γονίδιο", Target: gene})
+	g.SetRoot("Βάση-Ω", root)
+
+	// Hand-built query (the lexer is a separate concern): uppercase base
+	// and labels must match their lowercase graph forms.
+	q := &Query{
+		Select: []SelectItem{{Path: Path{Base: "X", Steps: []Step{LabelStep{Name: "ΣΎΜΒΟΛΟ"}}}, Label: "S"}},
+		From:   []FromClause{{Path: Path{Base: "ΒΆΣΗ-Ω", Steps: []Step{LabelStep{Name: "ΓΟΝΊΔΙΟ"}}}, Var: "X"}},
+	}
+	r, err := Eval(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.Graph.Children(r.Answer, "S")); n != 1 {
+		t.Fatalf("%d S edges, want 1 (non-ASCII root or label failed to fold)", n)
+	}
+}
+
+// TestCondPlanReuse: a compiled condition evaluates correctly across many
+// bindings, which is how the mediator's pushdown uses it.
+func TestCondPlanReuse(t *testing.T) {
+	g := testGraph(t)
+	q := MustParse(`select X from DB.Gene X where X.Organism = "Homo sapiens"`)
+	cp, err := CompileCond(q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := g.RootMatch("DB")
+	human := 0
+	for _, oid := range g.Children(root, "Gene") {
+		ok, err := cp.Eval(g, map[string]oem.OID{"X": oid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			human++
+		}
+	}
+	if human != 2 {
+		t.Fatalf("condition plan kept %d genes, want 2", human)
+	}
+	// Nil conditions compile to always-true.
+	always, err := CompileCond(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := always.Eval(g, nil); err != nil || !ok {
+		t.Fatalf("nil condition: %v %v, want true", ok, err)
+	}
+}
+
+// TestIndexedAndScannedLabelMatchingAgree: the same label step must match
+// identically whether the graph's label index is built (settled graphs) or
+// the evaluator falls back to a ref scan (still-mutating graphs) — even for
+// labels where Unicode ToLower and EqualFold disagree (Greek final sigma).
+func TestIndexedAndScannedLabelMatchingAgree(t *testing.T) {
+	g := oem.NewGraph()
+	target := g.NewString("match")
+	root := g.NewComplex(oem.Ref{Label: "Οδός", Target: target})
+	g.SetRoot("R", root)
+
+	steps := []Step{LabelStep{Name: "ΟΔΌΣ"}}
+	// EvalPath does not build the index: ref-scan path.
+	scanned := EvalPath(g, steps, []oem.OID{root})
+	g.EnsureLabelIndex()
+	indexed := EvalPath(g, steps, []oem.OID{root})
+	if len(scanned) != 1 || len(indexed) != 1 || scanned[0] != indexed[0] {
+		t.Fatalf("scan matched %v, index matched %v — label folding diverges", scanned, indexed)
 	}
 }

@@ -9,7 +9,9 @@ import (
 // Path expressions are regular expressions over edge labels; they compile
 // to a small Thompson NFA which is then evaluated as a product traversal of
 // (NFA state, graph object). Matching is case-insensitive on labels, per
-// Lorel's forgiving treatment of semi-structured vocabularies.
+// Lorel's forgiving treatment of semi-structured vocabularies: label steps
+// are folded once at compile time and matched against the graph's folded
+// label index, so the traversal itself never case-converts.
 
 type matchKind uint8
 
@@ -21,7 +23,7 @@ const (
 
 type nfaEdge struct {
 	kind  matchKind
-	label string // lowercased, for mLabel
+	label string // folded with oem.FoldLabel, for mLabel
 	to    int
 }
 
@@ -59,7 +61,7 @@ func compileStep(n *nfa, s Step, in int) int {
 	switch x := s.(type) {
 	case LabelStep:
 		out := n.newState()
-		n.addEdge(in, nfaEdge{kind: mLabel, label: strings.ToLower(x.Name), to: out})
+		n.addEdge(in, nfaEdge{kind: mLabel, label: oem.FoldLabel(x.Name), to: out})
 		return out
 	case WildcardStep:
 		out := n.newState()
@@ -102,11 +104,53 @@ type prodState struct {
 	obj   oem.OID
 }
 
+// scratch is the reusable traversal state of one evaluation: the product
+// visited set, the emit dedup set, the BFS queue, and small operand buffers.
+// A Plan pools scratches so repeated evaluations of the same shape allocate
+// none of this; result slices are always fresh (they outlive the call).
+type scratch struct {
+	visited  map[prodState]bool
+	emitted  map[oem.OID]bool
+	queue    []prodState
+	startBuf [1]oem.OID
+	lvals    []*oem.Object
+	rvals    []*oem.Object
+}
+
+func newScratch() *scratch {
+	return &scratch{
+		visited: make(map[prodState]bool),
+		emitted: make(map[oem.OID]bool),
+	}
+}
+
 // evalNFA returns every object reachable from any start oid along a label
-// path accepted by the NFA, in first-reached order.
-func evalNFA(g *oem.Graph, n *nfa, starts []oem.OID) []oem.OID {
-	visited := make(map[prodState]bool)
-	var queue []prodState
+// path accepted by the NFA, in first-reached order. Label edges resolve
+// through the graph's folded label index (one map hit per edge) rather than
+// scanning and case-converting every ref.
+// scratchMapMax bounds reuse of the visited/emitted maps: clearing a Go map
+// costs time proportional to its bucket count, which never shrinks, so a
+// map inflated by one large traversal (a from-clause over thousands of
+// objects) would tax every small per-binding traversal after it. Oversized
+// maps are dropped and reallocated small instead.
+const scratchMapMax = 512
+
+func evalNFA(g *oem.Graph, n *nfa, starts []oem.OID, sc *scratch) []oem.OID {
+	if len(sc.visited) > scratchMapMax {
+		sc.visited = make(map[prodState]bool)
+	} else {
+		clear(sc.visited)
+	}
+	if len(sc.emitted) > scratchMapMax {
+		sc.emitted = make(map[oem.OID]bool)
+	} else {
+		clear(sc.emitted)
+	}
+	visited, emitted := sc.visited, sc.emitted
+	// One lock acquisition for the whole traversal: the index handle is
+	// read lock-free per edge afterwards.
+	ix, haveIx := g.LabelIndex()
+	queue := sc.queue[:0]
 	push := func(s prodState) {
 		if !visited[s] {
 			visited[s] = true
@@ -117,19 +161,18 @@ func evalNFA(g *oem.Graph, n *nfa, starts []oem.OID) []oem.OID {
 		push(prodState{state: n.start, obj: o})
 	}
 	var out []oem.OID
-	emitted := make(map[oem.OID]bool)
 	for qi := 0; qi < len(queue); qi++ {
 		cur := queue[qi]
 		if cur.state == n.accept && !emitted[cur.obj] {
 			emitted[cur.obj] = true
 			out = append(out, cur.obj)
 		}
-		obj := g.Get(cur.obj)
 		for _, e := range n.edges[cur.state] {
 			switch e.kind {
 			case mEps:
 				push(prodState{state: e.to, obj: cur.obj})
 			case mAny:
+				obj := g.Get(cur.obj)
 				if obj == nil || !obj.IsComplex() {
 					continue
 				}
@@ -137,22 +180,37 @@ func evalNFA(g *oem.Graph, n *nfa, starts []oem.OID) []oem.OID {
 					push(prodState{state: e.to, obj: r.Target})
 				}
 			case mLabel:
+				if haveIx {
+					for _, t := range ix.Targets(cur.obj, e.label) {
+						push(prodState{state: e.to, obj: t})
+					}
+					continue
+				}
+				// No index on this graph (it is still being mutated, e.g. a
+				// per-source scratch graph under pushdown): scan the refs.
+				// EqualFold is exactly the index's semantics — e.label is
+				// canonical under oem.FoldLabel, and EqualFold(x, canon)
+				// holds iff FoldLabel(x) == canon — and allocates nothing.
+				obj := g.Get(cur.obj)
 				if obj == nil || !obj.IsComplex() {
 					continue
 				}
 				for _, r := range obj.Refs {
-					if strings.ToLower(r.Label) == e.label {
+					if strings.EqualFold(r.Label, e.label) {
 						push(prodState{state: e.to, obj: r.Target})
 					}
 				}
 			}
 		}
 	}
+	sc.queue = queue // keep the grown buffer for the next call
 	return out
 }
 
-// EvalPath evaluates a compiled path from explicit start objects; exported
-// for the mediator, which routes paths through per-source models.
+// EvalPath evaluates a path from explicit start objects, compiling it on
+// the fly — a convenience shim for one-off evaluation. It pays a full
+// compile and fresh scratch per call; repeated evaluation of a fixed shape
+// should go through Compile.
 func EvalPath(g *oem.Graph, steps []Step, starts []oem.OID) []oem.OID {
-	return evalNFA(g, compileSteps(steps), starts)
+	return evalNFA(g, compileSteps(steps), starts, newScratch())
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"maps"
 	"runtime"
 	"strings"
 	"sync"
@@ -57,6 +58,19 @@ type Stats struct {
 	FuseTime       time.Duration
 	EvalTime       time.Duration
 
+	// PushdownFallbacks counts entities kept because a pushed-down
+	// predicate failed to evaluate at the source — pushdown must never
+	// break a query, so evaluation errors fall back to keeping the entity
+	// and letting the final evaluation decide. A nonzero value usually
+	// means a pushdown-classification bug worth investigating.
+	PushdownFallbacks int
+
+	// SnapshotUsed: the query was answered by evaluating its compiled plan
+	// against the shared fused snapshot, skipping fetch and fuse entirely.
+	// FetchTime/FuseTime then describe the snapshot's construction (which
+	// may have been amortized over earlier queries), not this request.
+	SnapshotUsed bool
+
 	// Result-cache activity. CacheEnabled is false when the manager runs
 	// with DisableCache, in which case every other Cache field is zero and
 	// String() prints exactly what it printed before the cache existed.
@@ -81,6 +95,12 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&sb, "pushdown=%v parallel=%v fetch=%v fuse=%v eval=%v\n",
 		s.PushdownUsed, s.Parallel, s.FetchTime.Round(time.Microsecond),
 		s.FuseTime.Round(time.Microsecond), s.EvalTime.Round(time.Microsecond))
+	if s.PushdownFallbacks > 0 {
+		fmt.Fprintf(&sb, "pushdown fallbacks: %d\n", s.PushdownFallbacks)
+	}
+	if s.SnapshotUsed {
+		sb.WriteString("snapshot: eval-only over shared fused graph\n")
+	}
 	if s.CacheEnabled {
 		outcome := "miss"
 		if s.CacheHit {
@@ -101,10 +121,39 @@ type Manager struct {
 	gl    *gml.Global
 	opts  Options
 	cache *qcache.Cache // nil when DisableCache
+	// plans caches compiled lorel plans by canonical query string. It lives
+	// apart from the result cache because plans are source-independent: a
+	// source Refresh invalidates results but the same query text still
+	// compiles to the same plan, and plan compiles must not distort the
+	// result cache's hit/miss counters.
+	plans *qcache.Cache // nil when DisableCache
 	// lastFP is the source-set fingerprint the cache contents were computed
 	// under; a mismatch (source refreshed, plugged in, or removed) drops
 	// every entry before the next lookup — freshness beats reuse.
 	lastFP atomic.Uint64
+
+	// snapshotHits counts computed queries answered eval-only against the
+	// shared fused snapshot; snapshotMisses counts computed queries that
+	// were ineligible and ran the full fetch+fuse pipeline. Result-cache
+	// hits count as neither (nothing was computed).
+	snapshotHits   atomic.Int64
+	snapshotMisses atomic.Int64
+}
+
+// SnapshotCounters reports how many computed queries took the fused-snapshot
+// eval-only fast path vs the full pipeline.
+type SnapshotCounters struct {
+	Hits   int64 // queries evaluated against the shared fused snapshot
+	Misses int64 // queries that ran their own fetch+fuse
+}
+
+// SnapshotCounters snapshots the fast-path counters; ok is false when the
+// cache (and with it the snapshot path) is disabled.
+func (m *Manager) SnapshotCounters() (SnapshotCounters, bool) {
+	if m.cache == nil {
+		return SnapshotCounters{}, false
+	}
+	return SnapshotCounters{Hits: m.snapshotHits.Load(), Misses: m.snapshotMisses.Load()}, true
 }
 
 // New builds a manager over a registry and its global model.
@@ -115,6 +164,7 @@ func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
 	m := &Manager{reg: reg, gl: gl, opts: opts}
 	if !opts.DisableCache {
 		m.cache = qcache.New(opts.CacheSize, opts.CacheTTL)
+		m.plans = qcache.New(opts.CacheSize, 0) // plans never age out
 	}
 	return m
 }
@@ -196,12 +246,18 @@ func (m *Manager) QueryString(src string) (*lorel.Result, *Stats, error) {
 // runs once per distinct question, concurrent identical questions collapse
 // onto one computation (singleflight), and later askers get the stored
 // result. Cached *lorel.Result values are shared — treat them as read-only.
+//
+// A distinct question over an unchanged source set usually skips the
+// fan-out entirely: when the query is snapshot-safe (see snapshotSafe) its
+// compiled plan is evaluated against one fused snapshot graph shared by
+// every query computed under the current source fingerprint — eval-only.
 func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
+	canon := q.String()
 	if m.cache == nil {
-		return m.queryUncached(q)
+		return m.queryCompute(q, canon)
 	}
-	v, stats, err := m.cachedDo("query\x00"+q.String(), func() (any, *Stats, error) {
-		return pass(m.queryUncached(q))
+	v, stats, err := m.cachedDo("query\x00"+canon, func() (any, *Stats, error) {
+		return pass(m.queryCompute(q, canon))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -213,10 +269,24 @@ func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
 // compute signature.
 func pass[T any](v T, stats *Stats, err error) (any, *Stats, error) { return v, stats, err }
 
+// clone deep-copies s, including the map and slice fields. cachedDo hands
+// every caller of a cached entry its own copy so one caller mutating its
+// Stats can never corrupt another's (or the stored original's).
+func (s *Stats) clone() *Stats {
+	cp := *s
+	cp.SourcesQueried = append([]string(nil), s.SourcesQueried...)
+	cp.SourcesPruned = append([]string(nil), s.SourcesPruned...)
+	cp.Conflicts = append([]Conflict(nil), s.Conflicts...)
+	cp.Fetched = maps.Clone(s.Fetched)
+	cp.Kept = maps.Clone(s.Kept)
+	return &cp
+}
+
 // cachedDo runs compute through the result cache under key (refreshing the
 // cache first if the source set changed) and stamps per-request cache flags
-// onto a copy of the computation's stats — the computation's Stats are
-// immutable once stored, but the flags differ per caller.
+// onto a deep copy of the computation's stats — the computation's Stats are
+// immutable once stored, but the flags differ per caller, and the reference
+// fields must not be shared between callers.
 func (m *Manager) cachedDo(key string, compute func() (any, *Stats, error)) (any, *Stats, error) {
 	m.ensureFresh()
 	type payload struct {
@@ -234,18 +304,82 @@ func (m *Manager) cachedDo(key string, compute func() (any, *Stats, error)) (any
 		return nil, nil, err
 	}
 	p := v.(*payload)
-	stats := *p.stats
+	stats := p.stats.clone()
 	stats.CacheEnabled = true
 	stats.CacheHit = outcome != qcache.Miss
 	stats.Cache = m.cache.Counters()
-	return p.v, &stats, nil
+	return p.v, stats, nil
 }
 
-func (m *Manager) queryUncached(q *lorel.Query) (*lorel.Result, *Stats, error) {
+// planFor returns the compiled plan for a query, caching it by canonical
+// form so a repeated query shape compiles once (plans are graph-independent
+// and survive source invalidation). Cached plans are shared across
+// goroutines, so the query is cloned before compiling; an uncached plan is
+// transient and single-use, so it may alias the caller's query directly.
+func (m *Manager) planFor(q *lorel.Query, canon string) (*lorel.Plan, error) {
+	if m.plans == nil {
+		return lorel.Compile(q)
+	}
+	v, _, err := m.plans.Do(canon, func() (any, error) {
+		p, err := lorel.Compile(q.Clone())
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*lorel.Plan), nil
+}
+
+// queryCompute runs one query, choosing between the eval-only snapshot fast
+// path and the full fetch+fuse pipeline.
+func (m *Manager) queryCompute(q *lorel.Query, canon string) (*lorel.Result, *Stats, error) {
 	an, err := m.analyze(q)
 	if err != nil {
 		return nil, nil, err
 	}
+	if m.cache != nil {
+		if m.snapshotSafe(an, q) {
+			res, stats, err := m.querySnapshot(q, canon)
+			if err == nil {
+				m.snapshotHits.Add(1) // count only answered queries
+			}
+			return res, stats, err
+		}
+		m.snapshotMisses.Add(1)
+	}
+	return m.execute(q, canon, an)
+}
+
+// querySnapshot answers a query by evaluating its compiled plan against the
+// shared fused snapshot — the full integrated graph built once per source
+// fingerprint and shared across every snapshot-safe query.
+func (m *Manager) querySnapshot(q *lorel.Query, canon string) (*lorel.Result, *Stats, error) {
+	g, fstats, err := m.FusedGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := m.planFor(q, canon)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := time.Now()
+	res, err := plan.Eval(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	// fstats is already a private copy (cachedDo clones); reuse it so the
+	// fetch/fuse fields describe the snapshot's construction.
+	stats := fstats
+	stats.EvalTime = time.Since(t)
+	stats.SnapshotUsed = true
+	return res, stats, nil
+}
+
+// execute runs the full pipeline for one analyzed query: fetch, fuse, eval.
+func (m *Manager) execute(q *lorel.Query, canon string, an *analysis) (*lorel.Result, *Stats, error) {
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 
 	t0 := time.Now()
@@ -262,13 +396,67 @@ func (m *Manager) queryUncached(q *lorel.Query) (*lorel.Result, *Stats, error) {
 	}
 	stats.FuseTime = time.Since(t1)
 
+	plan, err := m.planFor(q, canon)
+	if err != nil {
+		return nil, nil, err
+	}
 	t2 := time.Now()
-	res, err := lorel.Eval(fused, q)
+	res, err := plan.Eval(fused)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.EvalTime = time.Since(t2)
 	return res, stats, nil
+}
+
+// snapshotSafe reports whether evaluating q against the full fused snapshot
+// is guaranteed to produce the same answer as the per-query pipeline. The
+// snapshot differs from a per-query fused graph in three ways, each of
+// which must be unobservable by q:
+//
+//  1. Pruned sources' entities (and their reconciliation contributions) are
+//     present in the snapshot — safe only when the query prunes nothing.
+//  2. Pushdown-filtered entities are present — safe only when nothing is
+//     pushed down (the final eval re-applies the full where clause either
+//     way, but filtered link entities also feed reconciliation).
+//  3. Semi-join-skipped entities (unlinked, not directly queried) are
+//     present — those are reachable only through the root, so they are
+//     unobservable unless a root-based path can reach that concept's
+//     root-level edges.
+func (m *Manager) snapshotSafe(an *analysis, q *lorel.Query) bool {
+	if len(an.pushdown) != 0 {
+		return false
+	}
+	if !an.needAll && !m.opts.DisablePruning {
+		for _, w := range m.reg.All() {
+			mp := m.gl.MappingFor(w.Name())
+			if mp != nil && !an.needs(mp.Concept) {
+				return false // this query would prune w; the snapshot keeps it
+			}
+		}
+	}
+	if an.needAll || m.opts.DisablePushdown {
+		// Nothing is pruned, filtered, or semi-join-skipped: the per-query
+		// fused graph IS the snapshot.
+		return true
+	}
+	for _, p := range collectPaths(q) {
+		if !strings.EqualFold(p.Base, "ANNODA-GML") {
+			continue
+		}
+		if len(p.Steps) == 0 {
+			return false // binds the root itself; imports every root edge
+		}
+		l, ok := p.Steps[0].(lorel.LabelStep)
+		if !ok {
+			return false
+		}
+		c := conceptNames[strings.ToLower(l.Name)]
+		if c != "" && c != "Gene" && !conceptQueriedDirectly(an, c) {
+			return false // could observe this concept's unlinked entities
+		}
+	}
+	return true
 }
 
 // FusedGraph builds and returns the full integrated graph (every concept,
@@ -291,14 +479,18 @@ func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
 func (m *Manager) fusedGraphUncached() (*oem.Graph, *Stats, error) {
 	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
+	t0 := time.Now()
 	pops, err := m.fetch(an, stats)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.FetchTime = time.Since(t0)
+	t1 := time.Now()
 	g, err := m.fuse(an, pops, stats)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.FuseTime = time.Since(t1)
 	return g, stats, nil
 }
 
@@ -503,6 +695,9 @@ type population struct {
 	graph        *oem.Graph
 	entities     []oem.OID
 	fetchedCount int
+	// fallbacks counts entities kept because a pushed-down predicate
+	// errored at the source (see Stats.PushdownFallbacks).
+	fallbacks int
 }
 
 // fetch translates each relevant source in parallel.
@@ -570,6 +765,7 @@ func (m *Manager) fetch(an *analysis, stats *Stats) ([]*population, error) {
 	for _, p := range pops {
 		stats.Fetched[p.source] = p.fetchedCount
 		stats.Kept[p.source] = len(p.entities)
+		stats.PushdownFallbacks += p.fallbacks
 		if p.fetchedCount != len(p.entities) {
 			stats.PushdownUsed = true
 		}
@@ -587,9 +783,24 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 	if err != nil {
 		return nil, 0, err
 	}
+	// Compile each pushed-down predicate once per source, not once per
+	// entity; the per-entity loop below only evaluates.
+	type compiledPush struct {
+		v    string
+		plan *lorel.CondPlan
+	}
+	var plans []compiledPush
+	for _, pc := range conds {
+		cp, err := lorel.CompileCond(pc.c)
+		if err != nil {
+			return nil, 0, err
+		}
+		plans = append(plans, compiledPush{v: pc.v, plan: cp})
+	}
 	pop := &population{source: w.Name(), concept: mp.Concept, graph: oem.NewGraph()}
 	root := src.Root(w.Name())
 	fetched := 0
+	env := make(map[string]oem.OID, 1)
 	for _, e := range src.Children(root, mp.Entity) {
 		fetched++
 		te, err := gml.TranslateEntity(pop.graph, src, e, mp)
@@ -597,11 +808,15 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 			return nil, 0, err
 		}
 		keep := true
-		for _, pc := range conds {
-			ok, err := lorel.EvalCond(pop.graph, map[string]oem.OID{pc.v: te}, pc.c)
+		for _, pc := range plans {
+			clear(env)
+			env[pc.v] = te
+			ok, err := pc.plan.Eval(pop.graph, env)
 			if err != nil {
 				// Pushdown must never break a query; fall back to keeping
-				// the entity and let the final evaluation decide.
+				// the entity and let the final evaluation decide. The
+				// fallback is counted so it cannot hide silently.
+				pop.fallbacks++
 				ok = true
 			}
 			if !ok {

@@ -423,3 +423,54 @@ func TestPolicyString(t *testing.T) {
 		t.Error("policy names wrong")
 	}
 }
+
+// TestPushdownFallbackCounted: a pushed-down predicate that errors at the
+// source must fall back to keeping the entity — and be counted, both on the
+// population and in the aggregated Stats.
+func TestPushdownFallbackCounted(t *testing.T) {
+	m := manager(t, corpus(), Options{})
+	w := m.Registry().Get("LocusLink")
+	mp := m.Global().MappingFor("LocusLink")
+	if w == nil || mp == nil {
+		t.Fatal("LocusLink not registered/mapped")
+	}
+	// The condition's path base is a variable that is never bound in the
+	// per-entity environment, so evaluation fails for every entity.
+	bad := lorel.ExistsCond{P: lorel.Path{Base: "NoSuchVar", Steps: []lorel.Step{lorel.LabelStep{Name: "Symbol"}}}}
+
+	pop, fetched, err := m.fetchOne(w, mp, []pushCond{{v: "G", c: bad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetched == 0 {
+		t.Fatal("no entities fetched")
+	}
+	if len(pop.entities) != fetched {
+		t.Fatalf("fallback dropped entities: kept %d of %d", len(pop.entities), fetched)
+	}
+	if pop.fallbacks != fetched {
+		t.Fatalf("fallbacks = %d, want one per entity (%d)", pop.fallbacks, fetched)
+	}
+
+	// The count must surface through fetch into Stats.PushdownFallbacks.
+	an := &analysis{
+		fromConcepts: map[string]string{"G": "Gene"},
+		needed:       map[string]bool{"Gene": true},
+		pushdown:     map[string][]lorel.Cond{"G": {bad}},
+	}
+	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}}
+	if _, err := m.fetch(an, stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PushdownFallbacks != fetched {
+		t.Fatalf("Stats.PushdownFallbacks = %d, want %d", stats.PushdownFallbacks, fetched)
+	}
+	// A healthy pushdown records zero fallbacks.
+	_, healthy, err := m.QueryString(`select G from ANNODA-GML.Gene G where G.Symbol like "A%"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.PushdownFallbacks != 0 {
+		t.Fatalf("healthy pushdown recorded %d fallbacks", healthy.PushdownFallbacks)
+	}
+}

@@ -1,0 +1,30 @@
+package mediator
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+func TestPushdownFetchScalesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check")
+	}
+	timeFor := func(genes int) time.Duration {
+		c := datagen.Generate(datagen.Config{Seed: 9, Genes: genes, GoTerms: 40, Diseases: 30})
+		m := manager(t, c, Options{DisableCache: true})
+		start := time.Now()
+		if _, _, err := m.QueryString(`select G from ANNODA-GML.Gene G where G.Symbol like "A%"`); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	timeFor(500) // warm
+	t1 := timeFor(2000)
+	t2 := timeFor(4000)
+	t.Logf("2000 genes: %v, 4000 genes: %v (ratio %.1fx)", t1, t2, float64(t2)/float64(t1))
+	if t2 > 3*t1+50*time.Millisecond {
+		t.Fatalf("pushdown fetch looks superlinear: 2000=%v 4000=%v", t1, t2)
+	}
+}

@@ -3,7 +3,10 @@ package oem
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Graph is an OEM database: a set of objects addressed by oid plus a list of
@@ -23,7 +26,24 @@ type Graph struct {
 	// parents is a lazily built reverse-edge index used by navigation and
 	// invalidated by any mutation.
 	parents map[OID][]Edge
+
+	// labels is a lazily built per-object label index: case-folded label ->
+	// ref targets in insertion order, complex objects only. It turns the hot
+	// label-traversal step of query evaluation into a map hit instead of an
+	// O(refs) scan with a ToLower allocation per edge. Invalidated by any
+	// mutation, like parents.
+	labels map[OID]map[string][]OID
+
+	// slab is the current object allocation chunk: alloc carves objects out
+	// of it so building a large graph (answer import, fusion) costs one
+	// allocation per chunk instead of one per object. Chunks grow from 8 to
+	// slabMax so tiny graphs stay tiny.
+	slab     []Object
+	slabSize int
 }
+
+// slabMax bounds the object allocation chunk size.
+const slabMax = 512
 
 // Root is a named entry point into the graph, e.g. ("LocusLink", &1) or the
 // "answer" object of a query result.
@@ -80,11 +100,29 @@ func (g *Graph) OIDs() []OID {
 }
 
 func (g *Graph) alloc(kind Kind) *Object {
-	o := &Object{ID: g.next, Kind: kind}
+	if len(g.slab) == 0 {
+		if g.slabSize < slabMax {
+			g.slabSize = g.slabSize*2 + 8
+			if g.slabSize > slabMax {
+				g.slabSize = slabMax
+			}
+		}
+		g.slab = make([]Object, g.slabSize)
+	}
+	o := &g.slab[0]
+	g.slab = g.slab[1:]
+	o.ID, o.Kind = g.next, kind
 	g.objects[g.next] = o
 	g.next++
-	g.parents = nil
+	g.invalidateIndexes()
 	return o
+}
+
+// invalidateIndexes drops the lazily built secondary indexes; every mutation
+// must call it (directly or via alloc) before releasing the write lock.
+func (g *Graph) invalidateIndexes() {
+	g.parents = nil
+	g.labels = nil
 }
 
 // NewInt creates an integer atom and returns its oid.
@@ -193,7 +231,25 @@ func (g *Graph) AddRef(parent OID, label string, target OID) error {
 		return fmt.Errorf("oem: AddRef: %v is %v, not complex", parent, o.Kind)
 	}
 	o.Refs = append(o.Refs, Ref{Label: label, Target: target})
-	g.parents = nil
+	g.invalidateIndexes()
+	return nil
+}
+
+// SetRefs replaces a complex object's references wholesale, taking
+// ownership of refs. Bulk builders (query-answer import, fusion) size the
+// slice once instead of paying per-AddRef growth and locking.
+func (g *Graph) SetRefs(parent OID, refs []Ref) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.objects[parent]
+	if o == nil {
+		return fmt.Errorf("oem: SetRefs: no object %v", parent)
+	}
+	if o.Kind != KindComplex {
+		return fmt.Errorf("oem: SetRefs: %v is %v, not complex", parent, o.Kind)
+	}
+	o.Refs = refs
+	g.invalidateIndexes()
 	return nil
 }
 
@@ -217,7 +273,7 @@ func (g *Graph) RemoveRefs(parent OID, label string) int {
 	}
 	o.Refs = kept
 	if removed > 0 {
-		g.parents = nil
+		g.invalidateIndexes()
 	}
 	return removed
 }
@@ -247,6 +303,20 @@ func (g *Graph) Root(name string) OID {
 	return 0
 }
 
+// RootMatch returns the oid registered under a name equal to name under
+// Unicode case folding, or 0 if absent. Query evaluation resolves path bases
+// through it — unlike Roots it does not copy the root list.
+func (g *Graph) RootMatch(name string) OID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.roots {
+		if strings.EqualFold(r.Name, name) {
+			return r.OID
+		}
+	}
+	return 0
+}
+
 // Roots returns the registered roots in registration order.
 func (g *Graph) Roots() []Root {
 	g.mu.RLock()
@@ -257,6 +327,123 @@ func (g *Graph) Roots() []Root {
 // Children returns the target oids of edges labelled label leaving id.
 func (g *Graph) Children(id OID, label string) []OID {
 	return g.Get(id).RefTargets(label)
+}
+
+// FoldLabel returns the canonical simple-case-fold of an edge label — the
+// key space of the label index. Two labels are equal under
+// strings.EqualFold exactly when their FoldLabel forms are byte-identical,
+// so indexed lookups, linear ref scans, and root matching all share one
+// folding semantics (Greek final sigma, Kelvin sign, and friends included).
+// Callers that look labels up repeatedly (compiled query plans) fold once
+// and reuse the result. FoldLabel is idempotent.
+func FoldLabel(label string) string {
+	// Fast path: already canonical ASCII (no letters outside the orbit
+	// minimum, which for ASCII is the upper-case letter).
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		if c >= utf8.RuneSelf || ('a' <= c && c <= 'z') {
+			return strings.Map(foldRune, label)
+		}
+	}
+	return label
+}
+
+// foldRune maps a rune to the minimum of its unicode.SimpleFold orbit, the
+// canonical representative of its case-fold equivalence class.
+func foldRune(r rune) rune {
+	for {
+		next := unicode.SimpleFold(r)
+		if next <= r {
+			return next // wrapped around: next is the orbit minimum
+		}
+		r = next
+	}
+}
+
+// TargetsFolded returns the targets of the refs leaving id whose label
+// case-folds to folded (which must already be folded with FoldLabel), in
+// insertion order. The label index is built on first use and cached until
+// the next mutation; the returned slice is shared with the index and must
+// not be mutated.
+func (g *Graph) TargetsFolded(id OID, folded string) []OID {
+	if ix, ok := g.LabelIndex(); ok {
+		return ix.Targets(id, folded)
+	}
+	g.mu.Lock()
+	g.buildLabelIndexLocked()
+	out := g.labels[id][folded]
+	g.mu.Unlock()
+	return out
+}
+
+// LabelIndex is a read-only handle on a graph's built label index. The
+// underlying map is immutable once published — mutations replace it rather
+// than editing it — so a handle can be read without locking. It describes
+// the graph as of when it was taken; evaluating a graph that is being
+// concurrently mutated is not supported (and never was).
+type LabelIndex struct {
+	m map[OID]map[string][]OID
+}
+
+// Targets returns the ref targets of id under the canonical folded label.
+func (ix LabelIndex) Targets(id OID, folded string) []OID { return ix.m[id][folded] }
+
+// LabelIndex returns a lock-free handle on the label index, or ok=false
+// when none is built. Hot traversal takes the handle once per evaluation
+// (one RLock) instead of locking per edge; on a graph that is still being
+// mutated (per-entity pushdown evaluation over a growing scratch graph) it
+// returns false and the caller falls back to a ref scan — rebuilding the
+// whole index after every mutation would be quadratic in graph size.
+func (g *Graph) LabelIndex() (LabelIndex, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.labels == nil {
+		return LabelIndex{}, false
+	}
+	return LabelIndex{m: g.labels}, true
+}
+
+// EnsureLabelIndex builds the label index if absent. Evaluators call it
+// once before repeated traversal of a settled graph (a fused snapshot, a
+// materialized source model); it is a no-op while the index is live.
+func (g *Graph) EnsureLabelIndex() {
+	g.mu.RLock()
+	built := g.labels != nil
+	g.mu.RUnlock()
+	if built {
+		return
+	}
+	g.mu.Lock()
+	g.buildLabelIndexLocked()
+	g.mu.Unlock()
+}
+
+// buildLabelIndexLocked materializes the per-object label index. Distinct
+// label strings are folded exactly once (interned in fold), so a graph with
+// millions of edges over a small label vocabulary allocates a handful of
+// folded strings, not one per edge.
+func (g *Graph) buildLabelIndexLocked() {
+	if g.labels != nil {
+		return // lost the upgrade race to another reader
+	}
+	fold := make(map[string]string)
+	idx := make(map[OID]map[string][]OID, len(g.objects))
+	for id, o := range g.objects {
+		if o.Kind != KindComplex || len(o.Refs) == 0 {
+			continue
+		}
+		m := make(map[string][]OID, len(o.Refs))
+		for _, r := range o.Refs {
+			f, ok := fold[r.Label]
+			if !ok {
+				f = FoldLabel(r.Label)
+				fold[r.Label] = f
+			}
+			m[f] = append(m[f], r.Target)
+		}
+		idx[id] = m
+	}
+	g.labels = idx
 }
 
 // Child returns the first child under label, or 0.
@@ -415,12 +602,16 @@ func (g *Graph) Import(src *Graph, srcRoot OID) (OID, error) {
 		case KindGif:
 			no.Raw = append([]byte(nil), so.Raw...)
 		case KindComplex:
-			for _, r := range so.Refs {
-				t, err := walk(r.Target)
-				if err != nil {
-					return 0, err
+			if len(so.Refs) > 0 {
+				refs := make([]Ref, 0, len(so.Refs))
+				for _, r := range so.Refs {
+					t, err := walk(r.Target)
+					if err != nil {
+						return 0, err
+					}
+					refs = append(refs, Ref{Label: r.Label, Target: t})
 				}
-				no.Refs = append(no.Refs, Ref{Label: r.Label, Target: t})
+				no.Refs = refs
 			}
 		}
 		return no.ID, nil

@@ -553,3 +553,88 @@ func TestGifBase64RoundTrip(t *testing.T) {
 		t.Error("gif round trip failed")
 	}
 }
+
+// TestTargetsFolded: the label index answers folded lookups in insertion
+// order and tracks every kind of mutation.
+func TestTargetsFolded(t *testing.T) {
+	g := NewGraph()
+	a := g.NewComplex()
+	x, y := g.NewString("x"), g.NewString("y")
+	if err := g.AddRef(a, "Symbol", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRef(a, "SYMBOL", y); err != nil {
+		t.Fatal(err)
+	}
+	key := FoldLabel("sYmBoL")
+	if key != FoldLabel("SYMBOL") || key != FoldLabel(key) {
+		t.Fatalf("FoldLabel not canonical/idempotent: %q", key)
+	}
+	if got := g.TargetsFolded(a, key); len(got) != 2 || got[0] != x || got[1] != y {
+		t.Fatalf("TargetsFolded(%q) = %v, want [%v %v]", key, got, x, y)
+	}
+	// The key space is canonical-folded: a non-canonical key finds nothing.
+	if got := g.TargetsFolded(a, "symbol"); got != nil {
+		t.Fatalf("non-canonical key matched: %v", got)
+	}
+	// AddRef after the index was built must be visible.
+	z := g.NewString("z")
+	if err := g.AddRef(a, "symBOL", z); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TargetsFolded(a, key); len(got) != 3 || got[2] != z {
+		t.Fatalf("index stale after AddRef: %v", got)
+	}
+	// RemoveRefs (exact-label) must be visible too.
+	if n := g.RemoveRefs(a, "SYMBOL"); n != 1 {
+		t.Fatalf("RemoveRefs removed %d, want 1", n)
+	}
+	if got := g.TargetsFolded(a, key); len(got) != 2 || got[0] != x || got[1] != z {
+		t.Fatalf("index stale after RemoveRefs: %v", got)
+	}
+	// Atoms and absent objects index to nothing.
+	if got := g.TargetsFolded(x, key); got != nil {
+		t.Fatalf("atom had label targets: %v", got)
+	}
+	if got := g.TargetsFolded(OID(9999), key); got != nil {
+		t.Fatalf("missing object had label targets: %v", got)
+	}
+	// FoldLabel must agree with strings.EqualFold even where ToLower does
+	// not: Greek final sigma folds into the same class as Σ/σ.
+	if FoldLabel("Οδός") != FoldLabel("ΟΔΌΣ") {
+		t.Fatalf("FoldLabel(Οδός)=%q != FoldLabel(ΟΔΌΣ)=%q", FoldLabel("Οδός"), FoldLabel("ΟΔΌΣ"))
+	}
+}
+
+// TestTargetsFoldedAfterSortRefs: SortRefs reorders refs, so the index must
+// be rebuilt — target order follows ref order.
+func TestTargetsFoldedAfterSortRefs(t *testing.T) {
+	g := NewGraph()
+	a := g.NewComplex()
+	t1, t2 := g.NewString("1"), g.NewString("2")
+	_ = g.AddRef(a, "b", t1) // label "b" sorts after "A"
+	_ = g.AddRef(a, "A", t2)
+	if got := g.TargetsFolded(a, FoldLabel("b")); len(got) != 1 || got[0] != t1 {
+		t.Fatalf("pre-sort: %v", got)
+	}
+	g.SortRefs(a)
+	refs := g.Get(a).Refs
+	if refs[0].Label != "A" || refs[1].Label != "b" {
+		t.Fatalf("SortRefs order: %+v", refs)
+	}
+	if got := g.TargetsFolded(a, FoldLabel("a")); len(got) != 1 || got[0] != t2 {
+		t.Fatalf("post-sort index stale: %v", got)
+	}
+}
+
+func TestRootMatchFoldsUnicode(t *testing.T) {
+	g := NewGraph()
+	r := g.NewComplex()
+	g.SetRoot("Βάση-Ω", r)
+	if got := g.RootMatch("ΒΆΣΗ-Ω"); got != r {
+		t.Fatalf("RootMatch(ΒΆΣΗ-Ω) = %v, want %v", got, r)
+	}
+	if got := g.RootMatch("nope"); got != 0 {
+		t.Fatalf("RootMatch(nope) = %v, want 0", got)
+	}
+}

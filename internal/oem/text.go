@@ -236,7 +236,7 @@ func (g *Graph) putRaw(o *Object) {
 	if o.ID >= g.next {
 		g.next = o.ID + 1
 	}
-	g.parents = nil
+	g.invalidateIndexes()
 }
 
 func measureIndent(line string) (depth int, rest string, err error) {
@@ -335,4 +335,5 @@ func (g *Graph) SortRefs(id OID) {
 		}
 		return o.Refs[i].Target < o.Refs[j].Target
 	})
+	g.invalidateIndexes()
 }

@@ -12,9 +12,10 @@
 // thundering herd of identical questions costs one federated query.
 //
 // Invalidate() bumps a generation counter and drops every entry; in-flight
-// computations started under an older generation complete but are not
-// stored, so a source plugged in mid-query can never resurrect a stale
-// result.
+// computations started under an older generation complete but are neither
+// stored nor shared with callers that arrive after the invalidation (those
+// recompute under the new generation), so a source plugged in mid-query can
+// never resurrect — or hand out — a stale result.
 package qcache
 
 import (
@@ -102,6 +103,11 @@ type call struct {
 	wg  sync.WaitGroup
 	val any
 	err error
+	// gen is the cache generation the call started under. A prospective
+	// waiter whose current generation differs must not share this call's
+	// result: it was (or is being) computed over a source set that has
+	// since been invalidated. The same stamp fences the store.
+	gen uint64
 }
 
 // New builds a cache bounded at roughly capacity entries total
@@ -205,16 +211,20 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 		c.hits.Add(1)
 		return v, Hit, nil
 	}
-	if cl, ok := sh.inflight[key]; ok {
+	if cl, ok := sh.inflight[key]; ok && cl.gen == c.gen.Load() {
 		sh.mu.Unlock()
 		c.shared.Add(1)
 		cl.wg.Wait()
 		return cl.val, Shared, cl.err
 	}
-	cl := &call{}
+	// No in-flight call, or only one started before an Invalidate — its
+	// result must not be shared, so start a fresh compute under the current
+	// generation, replacing the stale inflight entry. Waiters already
+	// joined to the stale call keep it (they joined before the
+	// invalidation); later callers join this one.
+	cl := &call{gen: c.gen.Load()}
 	cl.wg.Add(1)
 	sh.inflight[key] = cl
-	gen := c.gen.Load()
 	sh.mu.Unlock()
 
 	c.misses.Add(1)
@@ -223,10 +233,13 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 	// caller would block forever in wg.Wait.
 	defer func() {
 		sh.mu.Lock()
-		delete(sh.inflight, key)
+		// A stale call that was replaced must not delete its successor.
+		if sh.inflight[key] == cl {
+			delete(sh.inflight, key)
+		}
 		// Store only when no Invalidate raced with the compute: a result
 		// built over the old source set must not outlive it.
-		if cl.err == nil && c.gen.Load() == gen {
+		if cl.err == nil && c.gen.Load() == cl.gen {
 			c.putLocked(sh, key, cl.val)
 		}
 		sh.mu.Unlock()

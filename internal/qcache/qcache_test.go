@@ -325,6 +325,64 @@ func TestInvalidateFencesInflight(t *testing.T) {
 	}
 }
 
+// TestInvalidateFencesSharing: a waiter that arrives AFTER Invalidate must
+// not join an in-flight call that started before it — the old call's result
+// was computed over the old source set. The waiter has to recompute under
+// the new generation. (Regression: the generation fence used to stop only
+// the store, not the share.)
+func TestInvalidateFencesSharing(t *testing.T) {
+	c := New(64, 0)
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		c.Do("k", func() (any, error) {
+			close(inCompute)
+			<-release
+			return "stale", nil
+		})
+	}()
+	<-inCompute
+	c.Invalidate()
+
+	type res struct {
+		v   any
+		out Outcome
+		err error
+	}
+	joined := make(chan res, 1)
+	go func() {
+		v, out, err := c.Do("k", func() (any, error) { return "fresh", nil })
+		joined <- res{v, out, err}
+	}()
+	var r res
+	select {
+	case r = <-joined:
+	case <-time.After(5 * time.Second):
+		close(release)
+		t.Fatal("post-invalidation waiter blocked on the pre-invalidation in-flight call")
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.v != "fresh" || r.out == Shared {
+		t.Fatalf("post-invalidation waiter got %v (outcome %v), want a fresh recompute", r.v, r.out)
+	}
+
+	close(release)
+	<-staleDone
+	// The fresh result must be the one stored; the stale call must neither
+	// store its value nor evict its successor's inflight bookkeeping.
+	if v, ok := c.Get("k"); !ok || v != "fresh" {
+		t.Fatalf("cached value after both calls finished: %v (ok=%v), want fresh", v, ok)
+	}
+	// Later callers under the same generation share/hit normally.
+	if v, out, err := c.Do("k", func() (any, error) { return "recomputed", nil }); err != nil || v != "fresh" || out != Hit {
+		t.Fatalf("follow-up Do: %v %v %v, want cached fresh hit", v, out, err)
+	}
+}
+
 func TestCountersAndLen(t *testing.T) {
 	c := New(64, 0)
 	c.Put("a", 1)

@@ -3,6 +3,7 @@ package relstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -375,13 +376,21 @@ func (db *DB) Exec(q *SelectStmt) (*ResultSet, error) {
 	return out, nil
 }
 
+// rowKey builds the DISTINCT dedup key. Every cell is length-prefixed: a
+// separator-based encoding is ambiguous the moment a string value contains
+// the separator (e.g. rows ("a\x00text:b") and ("a","b") used to collide),
+// and DISTINCT would silently drop a genuinely distinct row.
 func rowKey(r Row) string {
 	var sb strings.Builder
 	for _, v := range r {
-		sb.WriteString(v.Type.String())
+		t := v.Type.String()
+		s := v.String()
+		sb.WriteString(strconv.Itoa(len(t)))
 		sb.WriteByte(':')
-		sb.WriteString(v.String())
-		sb.WriteByte('\x00')
+		sb.WriteString(t)
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
 	}
 	return sb.String()
 }

@@ -318,3 +318,69 @@ func TestValueCompareTotalOrder(t *testing.T) {
 		t.Error("Equal(2, 2.0) should be true")
 	}
 }
+
+// TestRowKeyNoCollision: the DISTINCT dedup key must be injective over
+// rows. The old separator-based key let a single cell containing "\x00" and
+// a forged "type:" prefix collide with two separate cells.
+func TestRowKeyNoCollision(t *testing.T) {
+	pairs := [][2]Row{
+		// Same arity, cell boundary forged inside a value: both encoded to
+		// "text:a\x00text:b\x00text:c\x00" under the old key.
+		{{Text("a\x00text:b"), Text("c")}, {Text("a"), Text("b\x00text:c")}},
+		// Different arity, one cell swallowing its neighbour's encoding.
+		{{Text("a\x00text:b")}, {Text("a"), Text("b")}},
+		// Separator shifted across the cell boundary.
+		{{Text("a\x00"), Text("b")}, {Text("a"), Text("\x00b")}},
+		// NULL vs empty text must stay distinct too.
+		{{Null}, {Text("")}},
+	}
+	for i, p := range pairs {
+		ka, kb := rowKey(p[0]), rowKey(p[1])
+		if ka == kb {
+			t.Errorf("pair %d: distinct rows share key %q", i, ka)
+		}
+	}
+	// Equal rows must keep equal keys (dedup still works).
+	if rowKey(Row{Text("x"), Int(7)}) != rowKey(Row{Text("x"), Int(7)}) {
+		t.Error("equal rows produced different keys")
+	}
+}
+
+// TestDistinctKeepsCollidingRows: end-to-end DISTINCT over rows engineered
+// to collide under the old key — both must survive.
+func TestDistinctKeepsCollidingRows(t *testing.T) {
+	db := NewDB()
+	tab, err := db.Create(Schema{
+		Name: "t",
+		Key:  "id",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "a", Type: TText},
+			{Name: "b", Type: TText},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.InsertVals(1, "a\x00text:b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.InsertVals(2, "a", "b\x00text:c"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Exec(&SelectStmt{
+		Items: []SelectItem{
+			{Expr: &Col{Name: "a"}},
+			{Expr: &Col{Name: "b"}},
+		},
+		From:     []TableRef{{Table: "t"}},
+		Limit:    -1,
+		Distinct: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("DISTINCT collapsed %d distinct rows into %d", 2, len(rs.Rows))
+	}
+}
