@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke serve clean
+.PHONY: check vet fmt-check build test race bench bench-smoke serve clean
 
-# check is the tier-1 gate: vet, build, and the full test tree under -race.
-check: vet build race
+# check is the tier-1 gate: formatting, vet, build, and the full test tree
+# under -race.
+check: fmt-check vet build race
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) when any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -5,6 +5,7 @@
 package main_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -572,6 +573,72 @@ func BenchmarkE14_DistinctQuestionsFullPipeline(b *testing.B) {
 		}
 	}
 }
+
+// --- E15: incremental change feeds — refresh 1% of a source, then query -----
+
+// e15Query is snapshot-safe (touches all three concepts, nothing pushed
+// down) and selective in its select list, so the measured cycle is
+// dominated by refresh absorption, not by answer materialization.
+const e15Query = `select G.Symbol from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+
+// benchmarkE15 measures the cost of absorbing a small source update: each
+// iteration edits 1% of LocusLink's records and then asks a snapshot-safe
+// question. The delta path routes the refresh through RefreshSource — a
+// structural diff, an in-place patch of the shared fused snapshot, and
+// concept-scoped cache invalidation. The full path is the pre-delta
+// behaviour: wrapper Refresh, whole-cache nuke, and a complete fetch+fuse
+// rebuild on the next query.
+func benchmarkE15(b *testing.B, genes int, deltaPath bool) {
+	sys, err := core.New(benchCorpus(genes), mediator.Options{CacheSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loci := make([]int, 0, genes/100)
+	for i := range sys.Corpus.Genes {
+		if len(loci) == genes/100 {
+			break
+		}
+		loci = append(loci, sys.Corpus.Genes[i].LocusID)
+	}
+	if _, stats, err := sys.Query(e15Query); err != nil {
+		b.Fatal(err)
+	} else if !stats.SnapshotUsed {
+		b.Fatal("warm query missed the snapshot path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := fmt.Sprintf("revision %d", i)
+		for _, id := range loci {
+			if err := sys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if deltaPath {
+			rr, err := sys.Manager.RefreshSource("LocusLink")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rr.FullRebuild || !rr.Patched {
+				b.Fatalf("delta path not taken: %+v", rr)
+			}
+		} else {
+			sys.Registry.Get("LocusLink").Refresh()
+		}
+		res, _, err := sys.Query(e15Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size() == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+func BenchmarkE15_DeltaRefresh1k(b *testing.B)  { benchmarkE15(b, 1000, true) }
+func BenchmarkE15_FullRefresh1k(b *testing.B)   { benchmarkE15(b, 1000, false) }
+func BenchmarkE15_DeltaRefresh10k(b *testing.B) { benchmarkE15(b, 10000, true) }
+func BenchmarkE15_FullRefresh10k(b *testing.B)  { benchmarkE15(b, 10000, false) }
 
 // runLorel evaluates a Lorel query on a graph and returns the answer size.
 func runLorel(g *oem.Graph, src string) (int, string, error) {

@@ -1,7 +1,7 @@
 // Command annoda-bench regenerates every table and figure of the ANNODA
 // paper (and the quantitative experiments attached to them) from the live
 // implementations in this repository. Run with no flags for everything, or
-// -exp E5 for one experiment (E1..E14). See EXPERIMENTS.md for the index.
+// -exp E5 for one experiment (E1..E15). See EXPERIMENTS.md for the index.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E13) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	flag.Parse()
@@ -46,10 +46,10 @@ func main() {
 	runners := map[string]func(*datagen.Corpus, *core.System){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
-		"E13": e13, "E14": e14,
+		"E13": e13, "E14": e14, "E15": e15,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -536,6 +536,96 @@ func e14(c *datagen.Corpus, sys *core.System) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// E15 — incremental change feeds: 1% of LocusLink changes, then a query.
+// The delta path absorbs the refresh through Manager.RefreshSource (diff
+// against the snapshot's recorded hashes, in-place patch, concept-scoped
+// invalidation); the baseline takes the pre-delta route (wrapper Refresh,
+// cache nuke, full fetch+fuse rebuild). Both systems receive the same
+// native-storage edits, and the baseline's full rebuilds are the ground
+// truth the delta answers are checked against.
+func e15(c *datagen.Corpus, sys *core.System) {
+	const query = `select G.Symbol from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+	const rounds = 10
+	pct := len(c.Genes) / 100
+	if pct < 1 {
+		pct = 1
+	}
+	mkSys := func() *core.System {
+		s, err := core.New(c, mediator.Options{CacheSize: 4096})
+		if err != nil {
+			fatal(err)
+		}
+		return s
+	}
+	deltaSys, fullSys := mkSys(), mkSys()
+	for _, s := range []*core.System{deltaSys, fullSys} {
+		if _, _, err := s.Query(query); err != nil {
+			fatal(err)
+		}
+	}
+	loci := make([]int, 0, pct)
+	for i := range c.Genes {
+		if len(loci) == pct {
+			break
+		}
+		loci = append(loci, c.Genes[i].LocusID)
+	}
+
+	var deltaTime, fullTime time.Duration
+	agree := true
+	for r := 0; r < rounds; r++ {
+		rev := fmt.Sprintf("revision %d", r)
+		for _, s := range []*core.System{deltaSys, fullSys} {
+			for _, id := range loci {
+				if err := s.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		t0 := time.Now()
+		rr, err := deltaSys.Manager.RefreshSource("LocusLink")
+		if err != nil {
+			fatal(err)
+		}
+		resD, _, err := deltaSys.Query(query)
+		if err != nil {
+			fatal(err)
+		}
+		deltaTime += time.Since(t0)
+		if rr.FullRebuild || !rr.Patched {
+			fatal(fmt.Errorf("delta path not taken: %+v", rr))
+		}
+
+		t1 := time.Now()
+		fullSys.Registry.Get("LocusLink").Refresh()
+		resF, _, err := fullSys.Query(query)
+		if err != nil {
+			fatal(err)
+		}
+		fullTime += time.Since(t1)
+
+		got := oem.CanonicalText(resD.Graph, "answer", resD.Answer)
+		want := oem.CanonicalText(resF.Graph, "answer", resF.Answer)
+		if got != want {
+			agree = false
+		}
+	}
+	fmt.Printf("workload: %d rounds of (edit %d of %d LocusLink records, refresh, query)\n\n",
+		rounds, pct, len(c.Genes))
+	fmt.Printf("%-28s %-14s %s\n", "path", "per-round", "total")
+	fmt.Printf("%-28s %-14v %v\n", "delta (RefreshSource)",
+		(deltaTime / rounds).Round(time.Microsecond), deltaTime.Round(time.Millisecond))
+	fmt.Printf("%-28s %-14v %v\n", "full fetch+fuse (Refresh)",
+		(fullTime / rounds).Round(time.Microsecond), fullTime.Round(time.Millisecond))
+	if deltaTime > 0 {
+		fmt.Printf("speedup (full/delta): %.1fx\n", float64(fullTime)/float64(deltaTime))
+	}
+	fmt.Printf("answers agree with full-rebuild ground truth: %v\n", agree)
+	dc := deltaSys.Manager.DeltaCounters()
+	fmt.Printf("delta counters: applied=%d entities=%d full-rebuilds=%d selective-invalidations=%d\n",
+		dc.DeltasApplied, dc.EntitiesPatched, dc.FullRebuilds, dc.SelectiveInvalidations)
 }
 
 // E12 — large-scale batch annotation.

@@ -7,8 +7,10 @@
 //	/api/ask     the integrated view as JSON (POST body or form params)
 //	/api/query   raw Lorel queries as JSON
 //	/api/object  the object view as JSON
+//	/api/refresh POST {"source": ...}: refresh one source via the delta
+//	             subsystem (or "warehouse" for the GUS-style ETL)
 //	/healthz     liveness probe
-//	/statsz      request and result-cache counters
+//	/statsz      request, cache, delta and warehouse counters
 //
 // Every request runs under a timeout and panic recovery; repeated questions
 // are answered from the mediator's sharded result cache (disable with
@@ -35,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/mediator"
+	"repro/internal/warehouse"
 )
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
@@ -69,10 +72,14 @@ func main() {
 	if err := sys.PlugInProteins(); err != nil {
 		log.Fatal(err)
 	}
+	// The GUS-style warehouse rides along for the architecture comparison:
+	// POST /api/refresh {"source":"warehouse"} runs its ETL, and /statsz
+	// surfaces its load count and archives next to the mediator stats.
+	wh := warehouse.New(sys.Registry, sys.Global)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(sys, *reqTimeout),
+		Handler:           newMux(sys, wh, *reqTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

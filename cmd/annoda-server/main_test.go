@@ -16,6 +16,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/mediator"
 	"repro/internal/sources/locuslink"
+	"repro/internal/warehouse"
 )
 
 var (
@@ -61,7 +62,7 @@ func postJSON(t *testing.T, h http.Handler, target, body string) *httptest.Respo
 }
 
 func TestFormPage(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	rec := get(t, h, "/")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET / = %d", rec.Code)
@@ -75,14 +76,14 @@ func TestFormPage(t *testing.T) {
 }
 
 func TestUnknownPathIs404(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	if rec := get(t, h, "/no/such/page"); rec.Code != http.StatusNotFound {
 		t.Fatalf("GET /no/such/page = %d, want 404", rec.Code)
 	}
 }
 
 func TestAskHTML(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	rec := get(t, h, "/ask?t_GO=include&t_OMIM=exclude")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /ask = %d: %s", rec.Code, rec.Body.String())
@@ -100,7 +101,7 @@ func TestAskHTML(t *testing.T) {
 }
 
 func TestAskHTMLBadCondition(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	rec := get(t, h, "/ask?field=Organism&op=BOGUS&value=x")
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad operator: got %d, want 400", rec.Code)
@@ -110,7 +111,7 @@ func TestAskHTMLBadCondition(t *testing.T) {
 // TestAskHTMLEscaping: user input reflected into the page must come back
 // entity-escaped, never as live markup.
 func TestAskHTMLEscaping(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	payload := `<script>alert(1)</script>`
 	tests := []struct {
 		name, target string
@@ -134,7 +135,7 @@ func TestAskHTMLEscaping(t *testing.T) {
 
 func TestObjectHTML(t *testing.T) {
 	sys := testSystem(t)
-	h := newMux(sys, 0)
+	h := newMux(sys, nil, 0)
 	u := locuslink.SelfURL(sys.Corpus.Genes[0].LocusID)
 	rec := get(t, h, "/object?url="+url.QueryEscape(u))
 	if rec.Code != http.StatusOK {
@@ -149,7 +150,7 @@ func TestObjectHTML(t *testing.T) {
 }
 
 func TestAPIAskPost(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	rec := postJSON(t, h, "/api/ask", `{"include":["GO"],"exclude":["OMIM"]}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST /api/ask = %d: %s", rec.Code, rec.Body.String())
@@ -185,7 +186,7 @@ func TestAPIAskPost(t *testing.T) {
 }
 
 func TestAPIAskGetFormParams(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	rec := get(t, h, "/api/ask?t_GO=include&t_OMIM=exclude")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /api/ask = %d: %s", rec.Code, rec.Body.String())
@@ -200,7 +201,7 @@ func TestAPIAskGetFormParams(t *testing.T) {
 }
 
 func TestAPIAsk4xx(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	tests := []struct {
 		name string
 		do   func() *httptest.ResponseRecorder
@@ -242,7 +243,7 @@ func TestAPIAsk4xx(t *testing.T) {
 }
 
 func TestAPIQuery(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	q := `select G from ANNODA-GML.Gene G where exists G.Annotation`
 	rec := get(t, h, "/api/query?q="+url.QueryEscape(q))
 	if rec.Code != http.StatusOK {
@@ -278,7 +279,7 @@ func TestAPIQuery(t *testing.T) {
 
 func TestAPIObject(t *testing.T) {
 	sys := testSystem(t)
-	h := newMux(sys, 0)
+	h := newMux(sys, nil, 0)
 	u := locuslink.SelfURL(sys.Corpus.Genes[0].LocusID)
 	rec := get(t, h, "/api/object?url="+url.QueryEscape(u))
 	if rec.Code != http.StatusOK {
@@ -300,7 +301,7 @@ func TestAPIObject(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	rec := get(t, h, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /healthz = %d", rec.Code)
@@ -319,7 +320,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestStatszCountsRequestsAndCache(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	get(t, h, "/healthz")
 	get(t, h, "/healthz")
 	rec := get(t, h, "/statsz")
@@ -345,7 +346,7 @@ func TestStatszCountsRequestsAndCache(t *testing.T) {
 // TestStatszSnapshotCounters: a snapshot-eligible API query must show up as
 // a snapshot hit in /statsz and flag snapshot_used in its own stats.
 func TestStatszSnapshotCounters(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	// The query must touch every mapped concept (the test system has ProtDB
 	// plugged in) so nothing is pruned and the snapshot path is eligible.
 	rec := get(t, h, "/api/query?q="+url.QueryEscape(
@@ -380,7 +381,7 @@ func TestStatszSnapshotCounters(t *testing.T) {
 // TestStatszPathCounterBounded: a scan over arbitrary URLs must not grow
 // the per-path map without bound — overflow paths aggregate as "(other)".
 func TestStatszPathCounterBounded(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	for i := 0; i < maxTrackedPaths+50; i++ {
 		get(t, h, fmt.Sprintf("/scan/%d", i))
 	}
@@ -431,7 +432,7 @@ func TestRecoveryMiddleware(t *testing.T) {
 // TestConcurrentAPIRequests drives the full middleware stack from many
 // goroutines — the server-side companion to the core -race test.
 func TestConcurrentAPIRequests(t *testing.T) {
-	h := newMux(testSystem(t), 0)
+	h := newMux(testSystem(t), nil, 0)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -456,4 +457,143 @@ func TestConcurrentAPIRequests(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// freshSystem builds a private System (the refresh tests mutate manager
+// state, so they must not share the memoized one).
+func freshSystem(t *testing.T) *core.System {
+	t.Helper()
+	cfg := datagen.Config{
+		Seed: 778, Genes: 50, GoTerms: 30, Diseases: 20,
+		ConflictRate: 0.2, MissingRate: 0.1,
+	}
+	sys, err := core.New(datagen.Generate(cfg), mediator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAPIRefresh(t *testing.T) {
+	sys := freshSystem(t)
+	wh := warehouse.New(sys.Registry, sys.Global)
+	h := newMux(sys, wh, 0)
+
+	// Warm the snapshot so the refresh has something to patch.
+	if rec := get(t, h, "/api/query?q="+url.QueryEscape(
+		`select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`)); rec.Code != http.StatusOK {
+		t.Fatalf("warm query = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := postJSON(t, h, "/api/refresh", `{"source":"GO"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/refresh = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Source     string `json:"source"`
+		OldVersion uint64 `json:"old_version"`
+		NewVersion uint64 `json:"new_version"`
+		Patched    bool   `json:"patched"`
+		Delta      struct {
+			Applied int64 `json:"applied"`
+		} `json:"delta"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "GO" || resp.NewVersion != resp.OldVersion+1 {
+		t.Errorf("refresh response = %+v", resp)
+	}
+	if !resp.Patched {
+		t.Error("unchanged-source refresh did not patch the live snapshot")
+	}
+	if resp.Delta.Applied != 1 {
+		t.Errorf("delta.applied = %d, want 1", resp.Delta.Applied)
+	}
+
+	// Unknown sources 404; missing body 400; GET 405.
+	if rec := postJSON(t, h, "/api/refresh", `{"source":"Nope"}`); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown source = %d, want 404", rec.Code)
+	}
+	if rec := postJSON(t, h, "/api/refresh", `{}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing source = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/api/refresh"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/refresh = %d, want 405", rec.Code)
+	}
+
+	// The warehouse pseudo-source runs ETL and bumps its load counter.
+	rec = postJSON(t, h, "/api/refresh", `{"source":"warehouse"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warehouse refresh = %d: %s", rec.Code, rec.Body.String())
+	}
+	if wh.Loads() != 1 {
+		t.Errorf("warehouse loads = %d, want 1", wh.Loads())
+	}
+}
+
+func TestAPIMethodNotAllowed(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	cases := []struct{ method, target string }{
+		{http.MethodDelete, "/api/ask"},
+		{http.MethodPut, "/api/query"},
+		{http.MethodPost, "/api/object"},
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/statsz"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(c.method, c.target, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.target, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); allow == "" {
+			t.Errorf("%s %s: missing Allow header", c.method, c.target)
+		}
+	}
+}
+
+func TestAPIBodyLimit(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	big := `{"query":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`
+	rec := postJSON(t, h, "/api/query", big)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized body = %d, want 400", rec.Code)
+	}
+}
+
+func TestStatszDeltaAndWarehouse(t *testing.T) {
+	sys := freshSystem(t)
+	wh := warehouse.New(sys.Registry, sys.Global)
+	h := newMux(sys, wh, 0)
+	if err := wh.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.Archive("t1"); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, h, "/statsz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /statsz = %d", rec.Code)
+	}
+	var resp struct {
+		Delta *struct {
+			Applied int64 `json:"applied"`
+		} `json:"delta"`
+		Warehouse *struct {
+			Loads    int      `json:"loads"`
+			Archives []string `json:"archives"`
+		} `json:"warehouse"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Delta == nil {
+		t.Error("statsz missing delta counters")
+	}
+	if resp.Warehouse == nil {
+		t.Fatal("statsz missing warehouse block")
+	}
+	if resp.Warehouse.Loads != 1 || len(resp.Warehouse.Archives) != 1 || resp.Warehouse.Archives[0] != "t1" {
+		t.Errorf("warehouse block = %+v", resp.Warehouse)
+	}
 }

@@ -14,7 +14,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/mediator"
 	"repro/internal/oem"
+	"repro/internal/warehouse"
 )
+
+// maxBodyBytes bounds every /api/* request body: annotation questions are
+// small, and an unbounded body is a trivial memory DoS.
+const maxBodyBytes = 1 << 20
 
 // defaultRequestTimeout bounds one request's handler time; a mediated query
 // over the demo corpus is milliseconds, so anything past this is a bug.
@@ -22,13 +27,14 @@ const defaultRequestTimeout = 30 * time.Second
 
 // newMux builds the complete, middleware-wrapped handler tree for a running
 // System. It is the testable seam: handler tests drive it through
-// net/http/httptest without opening a socket. timeout <= 0 selects
-// defaultRequestTimeout.
-func newMux(sys *core.System, timeout time.Duration) http.Handler {
+// net/http/httptest without opening a socket. wh is the optional GUS-style
+// warehouse whose refresh activity /statsz surfaces (nil disables it).
+// timeout <= 0 selects defaultRequestTimeout.
+func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) http.Handler {
 	if timeout <= 0 {
 		timeout = defaultRequestTimeout
 	}
-	s := &server{sys: sys, start: time.Now()}
+	s := &server{sys: sys, wh: wh, start: time.Now()}
 
 	mux := http.NewServeMux()
 	// HTML views (Figures 5a/5b/5c).
@@ -39,6 +45,7 @@ func newMux(sys *core.System, timeout time.Duration) http.Handler {
 	mux.HandleFunc("/api/ask", s.apiAsk)
 	mux.HandleFunc("/api/query", s.apiQuery)
 	mux.HandleFunc("/api/object", s.apiObject)
+	mux.HandleFunc("/api/refresh", s.apiRefresh)
 	// Operational endpoints.
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/statsz", s.statsz)
@@ -90,12 +97,27 @@ func recovering(next http.Handler) http.Handler {
 
 type server struct {
 	sys      *core.System
+	wh       *warehouse.Warehouse // nil when no warehouse is attached
 	start    time.Time
 	requests atomic.Int64
 	perPath  struct {
 		mu     sync.Mutex
 		counts map[string]int64
 	}
+}
+
+// allowMethods gates a handler on its supported HTTP methods, answering
+// everything else with 405 + an Allow header instead of the implicit
+// fall-through behaviour handlers used to have.
+func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -198,11 +220,14 @@ func mediatorStats(st *mediator.Stats) statsJSON {
 // parameters (t_<Source>=include|exclude, combine, field/op/value), so every
 // form URL has a machine-readable twin under /api.
 func (s *server) apiAsk(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
 	var q core.Question
 	switch r.Method {
 	case http.MethodPost:
 		var req askRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -222,12 +247,8 @@ func (s *server) apiAsk(w http.ResponseWriter, r *http.Request) {
 		for _, c := range req.Conditions {
 			q.Conditions = append(q.Conditions, core.Condition{Field: c.Field, Op: c.Op, Value: c.Value})
 		}
-	case http.MethodGet:
+	default: // GET
 		q = s.questionFromForm(r)
-	default:
-		w.Header().Set("Allow", "GET, POST")
-		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return
 	}
 	view, stats, err := s.sys.Ask(q)
 	if err != nil {
@@ -264,23 +285,22 @@ type queryResponse struct {
 // apiQuery runs a raw Lorel query in the global vocabulary: GET ?q=... or
 // POST {"query": "..."}.
 func (s *server) apiQuery(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
 	var src string
 	switch r.Method {
 	case http.MethodPost:
 		var req queryRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
 		src = req.Query
-	case http.MethodGet:
+	default: // GET
 		src = r.FormValue("q")
-	default:
-		w.Header().Set("Allow", "GET, POST")
-		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return
 	}
 	if strings.TrimSpace(src) == "" {
 		jsonError(w, http.StatusBadRequest, "missing query (POST {\"query\": ...} or GET ?q=...)")
@@ -306,9 +326,7 @@ type objectResponse struct {
 
 // apiObject renders the Figure 5(c) individual-object view as JSON.
 func (s *server) apiObject(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", "GET")
-		jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	if !allowMethods(w, r, http.MethodGet) {
 		return
 	}
 	url := r.FormValue("url")
@@ -324,8 +342,121 @@ func (s *server) apiObject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, objectResponse{URL: url, Text: out})
 }
 
+type refreshRequest struct {
+	Source string `json:"source"`
+}
+
+type refreshResponse struct {
+	Source      string    `json:"source"`
+	OldVersion  uint64    `json:"old_version"`
+	NewVersion  uint64    `json:"new_version"`
+	Upserted    int       `json:"upserted"`
+	Deleted     int       `json:"deleted"`
+	Total       int       `json:"total"`
+	Native      bool      `json:"native,omitempty"`
+	FullRebuild bool      `json:"full_rebuild,omitempty"`
+	Reason      string    `json:"reason,omitempty"`
+	Patched     bool      `json:"patched"`
+	Invalidated int       `json:"invalidated"`
+	TookMicros  int64     `json:"took_micros"`
+	Delta       deltaJSON `json:"delta"`
+	Warehouse   *whJSON   `json:"warehouse,omitempty"`
+}
+
+type deltaJSON struct {
+	Applied         int64 `json:"applied"`
+	EntitiesPatched int64 `json:"entities_patched"`
+	FullRebuilds    int64 `json:"full_rebuilds"`
+	SelectiveInval  int64 `json:"selective_invalidations"`
+}
+
+type whJSON struct {
+	Loads    int      `json:"loads"`
+	Archives []string `json:"archives"`
+}
+
+func deltaCountersJSON(dc mediator.DeltaCounters) deltaJSON {
+	return deltaJSON{
+		Applied:         dc.DeltasApplied,
+		EntitiesPatched: dc.EntitiesPatched,
+		FullRebuilds:    dc.FullRebuilds,
+		SelectiveInval:  dc.SelectiveInvalidations,
+	}
+}
+
+// apiRefresh refreshes one annotation source through the delta subsystem
+// and reports the applied ChangeSet: POST {"source": "GO"}. The special
+// source "warehouse" runs the attached GUS-style warehouse's ETL instead
+// (its load counter shows up in /statsz).
+func (s *server) apiRefresh(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	var req refreshRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Source == "" {
+		jsonError(w, http.StatusBadRequest, "missing source (POST {\"source\": ...})")
+		return
+	}
+	if req.Source == "warehouse" {
+		if s.wh == nil {
+			jsonError(w, http.StatusNotFound, "no warehouse attached")
+			return
+		}
+		if err := s.wh.Refresh(); err != nil {
+			jsonError(w, http.StatusInternalServerError, "warehouse refresh: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, refreshResponse{
+			Source:    "warehouse",
+			Delta:     deltaCountersJSON(s.sys.Manager.DeltaCounters()),
+			Warehouse: &whJSON{Loads: s.wh.Loads(), Archives: s.wh.Archives()},
+		})
+		return
+	}
+	if s.sys.Registry.Get(req.Source) == nil {
+		jsonError(w, http.StatusNotFound, "source %q not registered", req.Source)
+		return
+	}
+	rr, err := s.sys.Manager.RefreshSource(req.Source)
+	if err != nil {
+		// The source exists; a failure here is a wrapper/model problem,
+		// not a routing one.
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The navigation index was built over the old models; re-resolve.
+	if err := s.sys.Resolver.Reindex(); err != nil {
+		jsonError(w, http.StatusInternalServerError, "reindex after refresh: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, refreshResponse{
+		Source:      rr.Source,
+		OldVersion:  rr.OldVersion,
+		NewVersion:  rr.NewVersion,
+		Upserted:    rr.Upserted,
+		Deleted:     rr.Deleted,
+		Total:       rr.Total,
+		Native:      rr.Native,
+		FullRebuild: rr.FullRebuild,
+		Reason:      rr.Reason,
+		Patched:     rr.Patched,
+		Invalidated: rr.Invalidated,
+		TookMicros:  rr.Took.Microseconds(),
+		Delta:       deltaCountersJSON(s.sys.Manager.DeltaCounters()),
+	})
+}
+
 // healthz is the liveness probe: the system is up and its sources resolve.
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"sources": s.sys.Registry.Names(),
@@ -333,8 +464,11 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsz reports serving and cache counters.
+// statsz reports serving, cache, delta and warehouse counters.
 func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
 	byPath := map[string]int64{}
 	s.perPath.mu.Lock()
 	for p, n := range s.perPath.counts {
@@ -358,6 +492,12 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 		resp["snapshot"] = map[string]int64{"hits": sc.Hits, "misses": sc.Misses}
 	} else {
 		resp["snapshot"] = nil
+	}
+	resp["delta"] = deltaCountersJSON(s.sys.Manager.DeltaCounters())
+	if s.wh != nil {
+		resp["warehouse"] = whJSON{Loads: s.wh.Loads(), Archives: s.wh.Archives()}
+	} else {
+		resp["warehouse"] = nil
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

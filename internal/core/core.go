@@ -340,36 +340,41 @@ func (s *System) AnnotateBatch(symbols []string, workers int) ([]BatchResult, er
 	if workers <= 0 {
 		workers = 4
 	}
-	fused, _, err := s.Manager.FusedGraph()
+	out := make([]BatchResult, len(symbols))
+	// The whole batch runs under the snapshot read lock (WithFusedGraph):
+	// a concurrent RefreshSource patches the fused graph in place, and a
+	// worker reading a half-patched gene would emit silently-empty rows.
+	err := s.Manager.WithFusedGraph(func(fused *oem.Graph, _ *mediator.Stats) error {
+		// Index fused genes by canonical symbol once.
+		idx := map[string]oem.OID{}
+		root := fused.Root("ANNODA-GML")
+		for _, g := range fused.Children(root, "Gene") {
+			idx[gml.CanonicalSymbol(fused.StringUnder(g, "Symbol"))] = g
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, sym := range symbols {
+			wg.Add(1)
+			go func(i int, sym string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				out[i] = BatchResult{Symbol: sym}
+				oid, ok := idx[gml.CanonicalSymbol(sym)]
+				if !ok {
+					out[i].Err = fmt.Errorf("core: unknown gene %q", sym)
+					return
+				}
+				row := rowFromFused(fused, oid)
+				out[i].Row = &row
+			}(i, sym)
+		}
+		wg.Wait()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Index fused genes by canonical symbol once.
-	idx := map[string]oem.OID{}
-	root := fused.Root("ANNODA-GML")
-	for _, g := range fused.Children(root, "Gene") {
-		idx[gml.CanonicalSymbol(fused.StringUnder(g, "Symbol"))] = g
-	}
-	out := make([]BatchResult, len(symbols))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, sym := range symbols {
-		wg.Add(1)
-		go func(i int, sym string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = BatchResult{Symbol: sym}
-			oid, ok := idx[gml.CanonicalSymbol(sym)]
-			if !ok {
-				out[i].Err = fmt.Errorf("core: unknown gene %q", sym)
-				return
-			}
-			row := rowFromFused(fused, oid)
-			out[i].Row = &row
-		}(i, sym)
-	}
-	wg.Wait()
 	return out, nil
 }
 

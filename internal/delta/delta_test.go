@@ -1,0 +1,164 @@
+package delta
+
+import (
+	"testing"
+
+	"repro/internal/oem"
+)
+
+// buildModel constructs a tiny source model: root "Src" with "Rec" entities,
+// each a complex object with a Name atom and an optional nested child.
+func buildModel(names []string, nested map[string]string) *oem.Graph {
+	g := oem.NewGraph()
+	var refs []oem.Ref
+	for _, n := range names {
+		entRefs := []oem.Ref{{Label: "Name", Target: g.NewString(n)}}
+		if sub, ok := nested[n]; ok {
+			child := g.NewComplex(oem.Ref{Label: "Detail", Target: g.NewString(sub)})
+			entRefs = append(entRefs, oem.Ref{Label: "Extra", Target: child})
+		}
+		refs = append(refs, oem.Ref{Label: "Rec", Target: g.NewComplex(entRefs...)})
+	}
+	g.SetRoot("Src", g.NewComplex(refs...))
+	return g
+}
+
+func TestDiffNoChange(t *testing.T) {
+	old := buildModel([]string{"a", "b", "c"}, map[string]string{"b": "x"})
+	new := buildModel([]string{"a", "b", "c"}, map[string]string{"b": "x"})
+	cs, err := Diff(old, new, "Src", "Rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Empty() || cs.Total != 3 {
+		t.Fatalf("identical models: %d upserts %d deletes total %d, want empty",
+			len(cs.Upserted), len(cs.Deleted), cs.Total)
+	}
+	if cs.Fraction() != 0 {
+		t.Fatalf("Fraction = %v, want 0", cs.Fraction())
+	}
+}
+
+func TestDiffAddRemoveModify(t *testing.T) {
+	old := buildModel([]string{"a", "b", "c"}, nil)
+	// "a" kept, "b" modified (nested child added), "c" removed, "d" added.
+	new := buildModel([]string{"a", "b", "d"}, map[string]string{"b": "x"})
+	cs, err := Diff(old, new, "Src", "Rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modified b = delete old b + upsert new b, so 2 upserts, 2 deletes.
+	if len(cs.Upserted) != 2 || len(cs.Deleted) != 2 {
+		t.Fatalf("upserts=%d deletes=%d, want 2 and 2", len(cs.Upserted), len(cs.Deleted))
+	}
+	if cs.Total != 3 {
+		t.Fatalf("Total = %d, want 3", cs.Total)
+	}
+	// Upserted oids must resolve in the new model and carry the new values.
+	names := map[string]bool{}
+	for _, u := range cs.Upserted {
+		names[new.StringUnder(u.OID, "Name")] = true
+	}
+	if !names["b"] || !names["d"] {
+		t.Fatalf("upserted names = %v, want b and d", names)
+	}
+}
+
+func TestDiffDuplicateEntities(t *testing.T) {
+	// Two identical "a" records; one disappears. The multiset diff must
+	// report exactly one deletion, not zero (set semantics would collapse
+	// the duplicates) and not two.
+	old := buildModel([]string{"a", "a", "b"}, nil)
+	new := buildModel([]string{"a", "b"}, nil)
+	cs, err := Diff(old, new, "Src", "Rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Upserted) != 0 || len(cs.Deleted) != 1 {
+		t.Fatalf("upserts=%d deletes=%d, want 0 and 1", len(cs.Upserted), len(cs.Deleted))
+	}
+}
+
+func TestDiffMissingRoot(t *testing.T) {
+	ok := buildModel([]string{"a"}, nil)
+	empty := oem.NewGraph()
+	if _, err := Diff(empty, ok, "Src", "Rec"); err == nil {
+		t.Error("Diff accepted an old model without the root")
+	}
+	if _, err := Diff(ok, empty, "Src", "Rec"); err == nil {
+		t.Error("Diff accepted a new model without the root")
+	}
+}
+
+func TestHashEntityIgnoresOIDs(t *testing.T) {
+	a := buildModel([]string{"x", "same"}, map[string]string{"same": "d"})
+	b := buildModel([]string{"q", "r", "s", "same"}, map[string]string{"same": "d"})
+	ea := a.Children(a.Root("Src"), "Rec")
+	eb := b.Children(b.Root("Src"), "Rec")
+	ha := HashEntity(a, ea[1])
+	hb := HashEntity(b, eb[3])
+	if ha != hb {
+		t.Fatal("structurally identical entities hash differently across graphs")
+	}
+	if HashEntity(a, ea[0]) == ha {
+		t.Fatal("different entities share a hash")
+	}
+}
+
+func TestHashEntityValueSensitivity(t *testing.T) {
+	g := oem.NewGraph()
+	i := g.NewComplex(oem.Ref{Label: "V", Target: g.NewInt(1)})
+	s := g.NewComplex(oem.Ref{Label: "V", Target: g.NewString("1")})
+	bt := g.NewComplex(oem.Ref{Label: "V", Target: g.NewBool(true)})
+	if HashEntity(g, i) == HashEntity(g, s) {
+		t.Error("int 1 and string \"1\" hash equal")
+	}
+	if HashEntity(g, i) == HashEntity(g, bt) {
+		t.Error("int 1 and bool true hash equal")
+	}
+}
+
+func TestHashEntityCycle(t *testing.T) {
+	g := oem.NewGraph()
+	a := g.NewComplex()
+	b := g.NewComplex()
+	if err := g.AddRef(a, "next", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRef(b, "next", a); err != nil {
+		t.Fatal(err)
+	}
+	// Must terminate; both directions see the same shape.
+	if HashEntity(g, a) != HashEntity(g, b) {
+		t.Error("symmetric cycle hashes asymmetrically")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	old := buildModel([]string{"a", "b", "c", "d"}, nil)
+	new := buildModel([]string{"a", "b", "c", "e"}, nil)
+	cs, err := Diff(old, new, "Src", "Rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One record modified in place (d -> e): 1 changed of 4.
+	if got := cs.Fraction(); got != 1.0/4.0 {
+		t.Fatalf("modify Fraction = %v, want 0.25", got)
+	}
+	// Pure addition: 2 new records over the 6-record new population.
+	grown, err := Diff(old, buildModel([]string{"a", "b", "c", "d", "e", "f"}, nil), "Src", "Rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Fraction(); got != 2.0/6.0 {
+		t.Fatalf("append Fraction = %v, want 1/3", got)
+	}
+	// Pure deletion: 3 records gone, measured against the old population.
+	shrunk, err := Diff(old, buildModel([]string{"a"}, nil), "Src", "Rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shrunk.Fraction(); got != 3.0/4.0 {
+		t.Fatalf("delete Fraction = %v, want 0.75", got)
+	}
+}

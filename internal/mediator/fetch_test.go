@@ -1,0 +1,150 @@
+package mediator
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gml"
+	"repro/internal/match"
+	"repro/internal/oem"
+	"repro/internal/sources/geneontology"
+	"repro/internal/sources/locuslink"
+	"repro/internal/sources/omim"
+	"repro/internal/wrapper"
+)
+
+// flakyWrapper wraps a real wrapper and fails Model() on demand — after
+// registration and mapping succeeded, so only the query-time fetch sees
+// the failure.
+type flakyWrapper struct {
+	wrapper.Wrapper
+	fail atomic.Bool
+}
+
+func (f *flakyWrapper) Model() (*oem.Graph, error) {
+	if f.fail.Load() {
+		return nil, fmt.Errorf("injected %s outage", f.Name())
+	}
+	return f.Wrapper.Model()
+}
+
+// flakyManager builds a manager whose GO and OMIM wrappers can be made to
+// fail, returning the manager and the two failure switches in
+// registration order.
+func flakyManager(t testing.TB, c *datagen.Corpus, opts Options) (*Manager, *flakyWrapper, *flakyWrapper) {
+	t.Helper()
+	ll, err := locuslink.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gos, err := geneontology.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := omim.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgo := &flakyWrapper{Wrapper: wrapper.NewGeneOntology(gos)}
+	fom := &flakyWrapper{Wrapper: wrapper.NewOMIM(om)}
+	reg := wrapper.NewRegistry()
+	for _, w := range []wrapper.Wrapper{wrapper.NewLocusLink(ll), fgo, fom} {
+		if err := reg.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gl, err := gml.Build(reg, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, gl, opts), fgo, fom
+}
+
+const allSourcesQ = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+
+// TestFetchFirstErrorDeterministic: when several sources fail in one
+// fan-out, the reported error must always be the first failing source in
+// registration order — independent of goroutine scheduling, and identical
+// between the sequential and parallel executors.
+func TestFetchFirstErrorDeterministic(t *testing.T) {
+	c := corpus()
+	for _, seq := range []bool{false, true} {
+		name := "parallel"
+		if seq {
+			name = "sequential"
+		}
+		t.Run(name, func(t *testing.T) {
+			m, fgo, fom := flakyManager(t, c, Options{Sequential: seq, DisableCache: true})
+			fgo.fail.Store(true)
+			fom.fail.Store(true)
+			for round := 0; round < 8; round++ {
+				_, _, err := m.QueryString(allSourcesQ)
+				if err == nil {
+					t.Fatal("query succeeded with two sources down")
+				}
+				// GO registers before OMIM, so GO's outage is the error —
+				// every single time.
+				if !strings.Contains(err.Error(), "GO outage") {
+					t.Fatalf("round %d: error = %q, want the first failing source (GO)", round, err)
+				}
+				if strings.Contains(err.Error(), "OMIM") {
+					t.Fatalf("round %d: later source's error leaked: %q", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFetchErrorDoesNotPoisonLaterQueries: after the outage clears, the
+// same manager answers correctly (errors are never cached).
+func TestFetchErrorDoesNotPoisonLaterQueries(t *testing.T) {
+	c := corpus()
+	m, fgo, _ := flakyManager(t, c, Options{})
+	fgo.fail.Store(true)
+	if _, _, err := m.QueryString(allSourcesQ); err == nil {
+		t.Fatal("query succeeded during outage")
+	}
+	fgo.fail.Store(false)
+	res, _, err := m.QueryString(allSourcesQ)
+	if err != nil {
+		t.Fatalf("query still failing after outage cleared: %v", err)
+	}
+	if res.Size() == 0 {
+		t.Fatal("post-outage query returned no answers")
+	}
+}
+
+// TestSequentialParallelParity: the two executors must produce identical
+// answers and identical per-source accounting for the same query.
+func TestSequentialParallelParity(t *testing.T) {
+	c := corpus()
+	mp, _, _ := flakyManager(t, c, Options{DisableCache: true})
+	ms, _, _ := flakyManager(t, c, Options{DisableCache: true, Sequential: true})
+	queries := append([]string{allSourcesQ}, deltaEquivQueries...)
+	for i, src := range queries {
+		rp, sp, err := mp.QueryString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, ss, err := ms.QueryString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := oem.CanonicalText(rp.Graph, "answer", rp.Answer)
+		want := oem.CanonicalText(rs.Graph, "answer", rs.Answer)
+		if got != want {
+			t.Errorf("query %d (%s): parallel and sequential answers diverge", i, src)
+		}
+		if len(sp.SourcesQueried) != len(ss.SourcesQueried) {
+			t.Errorf("query %d: sources queried diverge: %v vs %v", i, sp.SourcesQueried, ss.SourcesQueried)
+		}
+		for srcName, n := range sp.Fetched {
+			if ss.Fetched[srcName] != n {
+				t.Errorf("query %d: %s fetched %d parallel vs %d sequential", i, srcName, n, ss.Fetched[srcName])
+			}
+		}
+	}
+}

@@ -8,6 +8,136 @@ import (
 	"repro/internal/oem"
 )
 
+// fusedGene is one fused gene object: reconciled attributes plus links to
+// Annotation/Disease/Protein entities. The per-query pipeline uses only the
+// join bookkeeping (key, symbols, geneIDs, contribs); the snapshot recorder
+// additionally tracks parts and conflicts so a ChangeSet can be applied to
+// the fused graph in place (see snapshot.go).
+type fusedGene struct {
+	oid      oem.OID
+	key      string // canonical symbol, the fusion key
+	geneIDs  map[int64]bool
+	symbols  map[string]bool // canonical symbol + aliases
+	contribs map[string][]SourceValue
+
+	// Recorder-only bookkeeping (nil/empty on the per-query path).
+	parts     []*genePart
+	conflicts map[string]*Conflict
+}
+
+func newFusedGene(key string) *fusedGene {
+	return &fusedGene{
+		key:      key,
+		geneIDs:  map[int64]bool{},
+		symbols:  map[string]bool{},
+		contribs: map[string][]SourceValue{},
+	}
+}
+
+// genePart records what one source's gene entity contributed to a fused
+// gene, precisely enough to take it back out: the structure refs attached,
+// the reconciliation contributions made, and the join keys brought in.
+type genePart struct {
+	source   string
+	hash     uint64 // delta.HashEntity of the source-model entity
+	refs     []oem.Ref
+	symbols  []string // canonical; [0] is the fusion key
+	geneIDs  []int64
+	contribs []contribRecord
+}
+
+// contribRecord identifies one reconciliation contribution for removal.
+// The value is keyed (valueKey) rather than held, so removal never
+// compares raw any values of unknown comparability.
+type contribRecord struct {
+	label    string
+	valueKey string
+}
+
+// ownedContrib is a contribRecord scoped to the owning gene — link-entity
+// contributions are computed per owner (Disease attribution depends on the
+// owner's GeneID set).
+type ownedContrib struct {
+	owner    string // gene fusion key
+	label    string
+	valueKey string
+}
+
+// fusedEntity records one link-concept entity resident in the fused
+// snapshot: where it came from, its oid, the join keys it matches genes
+// with, and what it contributed to which gene.
+type fusedEntity struct {
+	source  string
+	concept string
+	hash    uint64
+	oid     oem.OID
+	// Join keys, per-concept semantics (see joinEntity): only the keys the
+	// concept's join rule actually consults are stored.
+	symbols  []string
+	geneIDs  []int64
+	owners   []string // fusion keys of linked genes
+	contribs []ownedContrib
+}
+
+// joinEntity extracts an entity's gene-join keys under the concept's join
+// rule: Annotation joins on canonical symbol; Disease on every GeneID with
+// a symbol fallback; Protein on GeneID, or symbol only when no GeneID is
+// present. Both fresh fusion and snapshot patching resolve owners through
+// these keys, so the join rules live in exactly one place.
+func joinEntity(g *oem.Graph, e oem.OID, concept string) *fusedEntity {
+	fe := &fusedEntity{concept: concept}
+	switch concept {
+	case "Annotation":
+		fe.symbols = []string{gml.CanonicalSymbol(stringUnder(g, e, "Symbol"))}
+	case "Disease":
+		fe.geneIDs = intsUnder(g, e, "GeneID")
+		for _, s := range stringsUnder(g, e, "Symbol") {
+			fe.symbols = append(fe.symbols, gml.CanonicalSymbol(s))
+		}
+	case "Protein":
+		if id, ok := intUnder(g, e, "GeneID"); ok {
+			fe.geneIDs = []int64{id}
+		} else {
+			fe.symbols = []string{gml.CanonicalSymbol(stringUnder(g, e, "Symbol"))}
+		}
+	}
+	return fe
+}
+
+// ownersForKeys resolves an entity's owner genes from its join keys.
+// Disease entities may attach to several genes (deduplicated); Annotation
+// and Protein attach to at most one, preferring the GeneID join.
+func ownersForKeys(bySymbol map[string]*fusedGene, byGeneID map[int64]*fusedGene, fe *fusedEntity) []*fusedGene {
+	if fe.concept == "Disease" {
+		var owners []*fusedGene
+		seen := map[string]bool{}
+		for _, id := range fe.geneIDs {
+			if fg := byGeneID[id]; fg != nil && !seen[fg.key] {
+				seen[fg.key] = true
+				owners = append(owners, fg)
+			}
+		}
+		for _, s := range fe.symbols {
+			if fg := bySymbol[s]; fg != nil && !seen[fg.key] {
+				seen[fg.key] = true
+				owners = append(owners, fg)
+			}
+		}
+		return owners
+	}
+	for _, id := range fe.geneIDs {
+		if fg := byGeneID[id]; fg != nil {
+			return []*fusedGene{fg}
+		}
+	}
+	for _, s := range fe.symbols {
+		if fg := bySymbol[s]; fg != nil {
+			return []*fusedGene{fg}
+		}
+	}
+	return nil
+}
+
 // fuse combines the per-source populations into one integrated OEM graph:
 //
 //	ANNODA-GML
@@ -21,6 +151,15 @@ import (
 // on GeneID with a symbol fallback; Gene–Protein on GeneID. Linked-entity
 // labels that describe the gene itself (linkContrib) feed reconciliation.
 func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Graph, error) {
+	return m.fuseInto(an, pops, stats, nil)
+}
+
+// fuseInto is fuse with an optional recorder: when rec is non-nil the
+// fusion bookkeeping (gene parts, resident entities, join indexes,
+// per-gene conflicts) is captured into it so the resulting graph can later
+// be patched in place from a delta.ChangeSet. Populations feeding a
+// recorded fusion must carry entity hashes (fetch with hashes=true).
+func (m *Manager) fuseInto(an *analysis, pops []*population, stats *Stats, rec *fuseState) (*oem.Graph, error) {
 	g := oem.NewGraph()
 	root := g.NewComplex()
 	g.SetRoot("ANNODA-GML", root)
@@ -31,14 +170,6 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 	}
 
 	// ---- Pass 1: import gene entities and build fusion keys. ----
-	type fusedGene struct {
-		oid      oem.OID
-		key      string // canonical symbol
-		geneIDs  map[int64]bool
-		symbols  map[string]bool // canonical symbol + aliases
-		contribs map[string][]SourceValue
-		primary  string // contributing source
-	}
 	var genes []*fusedGene
 	byKey := map[string]*fusedGene{}
 	bySymbol := map[string]*fusedGene{}
@@ -48,23 +179,22 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 		if pop.concept != "Gene" {
 			continue
 		}
-		for _, e := range pop.entities {
+		for i, e := range pop.entities {
 			key := gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))
 			fg, exists := byKey[key]
 			if !exists {
-				fg = &fusedGene{
-					key:      key,
-					geneIDs:  map[int64]bool{},
-					symbols:  map[string]bool{},
-					contribs: map[string][]SourceValue{},
-					primary:  pop.source,
-				}
+				fg = newFusedGene(key)
 				fg.oid = g.NewComplex()
 				byKey[key] = fg
 				genes = append(genes, fg)
 				if err := g.AddRef(root, "Gene", fg.oid); err != nil {
 					return nil, err
 				}
+			}
+			var part *genePart
+			if rec != nil {
+				part = &genePart{source: pop.source, hash: pop.hashes[i], symbols: []string{key}}
+				fg.parts = append(fg.parts, part)
 			}
 			// Copy non-reconciled labels from the entity (first
 			// contributor wins for structure; atoms under reconciled
@@ -74,8 +204,13 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 				if isReconciled(ref.Label) {
 					c := pop.graph.Get(ref.Target)
 					if c != nil && c.IsAtomic() {
-						fg.contribs[canonLabel(ref.Label)] = append(fg.contribs[canonLabel(ref.Label)],
-							SourceValue{Source: pop.source, Value: c.Value()})
+						lbl := canonLabel(ref.Label)
+						v := c.Value()
+						fg.contribs[lbl] = append(fg.contribs[lbl],
+							SourceValue{Source: pop.source, Value: v})
+						if part != nil {
+							part.contribs = append(part.contribs, contribRecord{label: lbl, valueKey: valueKey(v)})
+						}
 					}
 					continue
 				}
@@ -86,13 +221,23 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 				if err := g.AddRef(fg.oid, ref.Label, imported); err != nil {
 					return nil, err
 				}
+				if part != nil {
+					part.refs = append(part.refs, oem.Ref{Label: ref.Label, Target: imported})
+				}
 			}
 			fg.symbols[key] = true
 			for _, a := range stringsUnder(pop.graph, e, "Alias") {
-				fg.symbols[gml.CanonicalSymbol(a)] = true
+				cs := gml.CanonicalSymbol(a)
+				fg.symbols[cs] = true
+				if part != nil {
+					part.symbols = append(part.symbols, cs)
+				}
 			}
 			if id, ok := intUnder(pop.graph, e, "GeneID"); ok {
 				fg.geneIDs[id] = true
+				if part != nil {
+					part.geneIDs = append(part.geneIDs, id)
+				}
 			}
 		}
 	}
@@ -104,6 +249,14 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 			byGeneID[id] = fg
 		}
 	}
+	if rec != nil {
+		rec.init(g, root, m.opts.Policy, priority, byKey, bySymbol, byGeneID)
+		for _, fg := range genes {
+			for _, part := range fg.parts {
+				rec.indexGenePart(part.source, part.hash, fg)
+			}
+		}
+	}
 
 	// ---- Pass 2: import link-concept entities, link to genes, and ----
 	// ---- collect their gene-describing contributions.              ----
@@ -112,36 +265,9 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 		if pop.concept == "Gene" {
 			continue
 		}
-		for _, e := range pop.entities {
-			var owners []*fusedGene
-			switch pop.concept {
-			case "Annotation":
-				if fg := bySymbol[gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))]; fg != nil {
-					owners = append(owners, fg)
-				}
-			case "Disease":
-				seen := map[string]bool{}
-				for _, id := range intsUnder(pop.graph, e, "GeneID") {
-					if fg := byGeneID[id]; fg != nil && !seen[fg.key] {
-						seen[fg.key] = true
-						owners = append(owners, fg)
-					}
-				}
-				for _, s := range stringsUnder(pop.graph, e, "Symbol") {
-					if fg := bySymbol[gml.CanonicalSymbol(s)]; fg != nil && !seen[fg.key] {
-						seen[fg.key] = true
-						owners = append(owners, fg)
-					}
-				}
-			case "Protein":
-				if id, ok := intUnder(pop.graph, e, "GeneID"); ok {
-					if fg := byGeneID[id]; fg != nil {
-						owners = append(owners, fg)
-					}
-				} else if fg := bySymbol[gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))]; fg != nil {
-					owners = append(owners, fg)
-				}
-			}
+		for i, e := range pop.entities {
+			fe := joinEntity(pop.graph, e, pop.concept)
+			owners := ownersForKeys(bySymbol, byGeneID, fe)
 			// Semi-join: when the query only reaches this concept through
 			// gene links, unlinked entities are dead weight. They are still
 			// imported when the concept is queried directly.
@@ -156,11 +282,25 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 			if err := g.AddRef(root, pop.concept, imported); err != nil {
 				return nil, err
 			}
+			if rec != nil {
+				fe.source, fe.hash, fe.oid = pop.source, pop.hashes[i], imported
+			}
 			for _, fg := range owners {
 				if err := g.AddRef(fg.oid, pop.concept, imported); err != nil {
 					return nil, err
 				}
-				collectContribs(pop, e, fg.key, fg.geneIDs, fg.contribs, pop.concept)
+				for _, lc := range contribsFor(pop.graph, e, fg.geneIDs, pop.concept, pop.source) {
+					fg.contribs[lc.label] = append(fg.contribs[lc.label], lc.sv)
+					if rec != nil {
+						fe.contribs = append(fe.contribs, ownedContrib{owner: fg.key, label: lc.label, valueKey: valueKey(lc.sv.Value)})
+					}
+				}
+				if rec != nil {
+					fe.owners = append(fe.owners, fg.key)
+				}
+			}
+			if rec != nil {
+				rec.addEntity(fe)
 			}
 		}
 	}
@@ -171,6 +311,12 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 			winners, conflict := reconcile(fg.key, label, fg.contribs[label], m.opts.Policy, priority)
 			if conflict != nil {
 				stats.Conflicts = append(stats.Conflicts, *conflict)
+				if rec != nil {
+					if fg.conflicts == nil {
+						fg.conflicts = map[string]*Conflict{}
+					}
+					fg.conflicts[label] = conflict
+				}
 			}
 			for _, w := range winners {
 				atom, err := g.NewAtom(w.Value)
@@ -187,34 +333,44 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 	return g, g.Validate()
 }
 
-// collectContribs feeds a linked entity's gene-describing labels into the
-// gene's contribution sets, respecting attribution rules: a disease's
+// labeledSV is one gene-describing contribution derived from a linked
+// entity.
+type labeledSV struct {
+	label string
+	sv    SourceValue
+}
+
+// contribsFor computes the gene-describing contributions a linked entity
+// makes to one owner gene, respecting attribution rules: a disease's
 // symbols/position describe a gene only when the attribution is
 // unambiguous (single-gene disease, or the gene is the entry's first
-// locus — our OMIM encodes the first locus's position).
-func collectContribs(pop *population, e oem.OID, geneKey string, geneIDs map[int64]bool, contribs map[string][]SourceValue, concept string) {
+// locus — our OMIM encodes the first locus's position). geneIDs is the
+// owner gene's GeneID set. Both fresh fusion and snapshot patching derive
+// contributions through this one function.
+func contribsFor(g *oem.Graph, e oem.OID, geneIDs map[int64]bool, concept, source string) []labeledSV {
 	rules := linkContrib[concept]
+	var out []labeledSV
 	for _, r := range rules {
 		switch {
 		case concept == "Disease" && r.From == "Symbol":
-			ids := intsUnder(pop.graph, e, "GeneID")
+			ids := intsUnder(g, e, "GeneID")
 			if len(ids) != 1 || !geneIDs[ids[0]] {
 				continue
 			}
-			for _, s := range stringsUnder(pop.graph, e, "Symbol") {
-				contribs[r.To] = append(contribs[r.To], SourceValue{Source: pop.source, Value: gml.CanonicalSymbol(s)})
+			for _, s := range stringsUnder(g, e, "Symbol") {
+				out = append(out, labeledSV{label: r.To, sv: SourceValue{Source: source, Value: gml.CanonicalSymbol(s)}})
 			}
 		case concept == "Disease" && r.From == "Position":
-			ids := intsUnder(pop.graph, e, "GeneID")
+			ids := intsUnder(g, e, "GeneID")
 			if len(ids) == 0 || !geneIDs[ids[0]] {
 				continue // position belongs to the first locus
 			}
-			if v := stringUnder(pop.graph, e, "Position"); v != "" {
-				contribs[r.To] = append(contribs[r.To], SourceValue{Source: pop.source, Value: v})
+			if v := stringUnder(g, e, "Position"); v != "" {
+				out = append(out, labeledSV{label: r.To, sv: SourceValue{Source: source, Value: v}})
 			}
 		default:
-			for _, t := range pop.graph.Children(e, r.From) {
-				o := pop.graph.Get(t)
+			for _, t := range g.Children(e, r.From) {
+				o := g.Get(t)
 				if o == nil || !o.IsAtomic() {
 					continue
 				}
@@ -224,10 +380,11 @@ func collectContribs(pop *population, e oem.OID, geneKey string, geneIDs map[int
 						v = gml.CanonicalSymbol(s)
 					}
 				}
-				contribs[r.To] = append(contribs[r.To], SourceValue{Source: pop.source, Value: v})
+				out = append(out, labeledSV{label: r.To, sv: SourceValue{Source: source, Value: v}})
 			}
 		}
 	}
+	return out
 }
 
 // isReconciled reports whether the label participates in reconciliation.

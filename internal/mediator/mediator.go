@@ -6,11 +6,13 @@ import (
 	"hash/fnv"
 	"maps"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/delta"
 	"repro/internal/gml"
 	"repro/internal/lorel"
 	"repro/internal/oem"
@@ -42,7 +44,16 @@ type Options struct {
 	// DisableCache turns the result cache off entirely: every query
 	// recomputes the federated fan-out (the E13 ablation baseline).
 	DisableCache bool
+	// MaxDeltaFraction bounds how much of a source may change before
+	// RefreshSource abandons incremental maintenance and falls back to a
+	// full rebuild (<= 0 selects DefaultMaxDeltaFraction). Past the bound,
+	// patching entity by entity costs more than refusing.
+	MaxDeltaFraction float64
 }
+
+// DefaultMaxDeltaFraction is the changed-fraction bound above which a
+// source refresh stops being worth applying incrementally.
+const DefaultMaxDeltaFraction = 0.25
 
 // Stats reports how a query was executed — the observable effect of the
 // multi-system optimizer.
@@ -79,6 +90,12 @@ type Stats struct {
 	CacheEnabled bool
 	CacheHit     bool // answered from cache (or shared an in-flight compute)
 	Cache        qcache.Counters
+
+	// Delta is the manager's cumulative delta-subsystem activity at the
+	// time this Stats was handed out (incremental refreshes applied,
+	// entities patched, full-rebuild fallbacks, concept-scoped cache
+	// invalidations). Zero until the first RefreshSource.
+	Delta DeltaCounters
 }
 
 // String summarizes the stats for explain output.
@@ -110,6 +127,10 @@ func (s *Stats) String() string {
 			outcome, s.Cache.Hits, s.Cache.Misses, s.Cache.Shared,
 			s.Cache.Evictions, s.Cache.Expired, s.Cache.Entries)
 	}
+	if s.Delta != (DeltaCounters{}) {
+		fmt.Fprintf(&sb, "deltas: applied=%d entities=%d full-rebuilds=%d selective-invalidations=%d\n",
+			s.Delta.DeltasApplied, s.Delta.EntitiesPatched, s.Delta.FullRebuilds, s.Delta.SelectiveInvalidations)
+	}
 	return sb.String()
 }
 
@@ -138,6 +159,34 @@ type Manager struct {
 	// hits count as neither (nothing was computed).
 	snapshotHits   atomic.Int64
 	snapshotMisses atomic.Int64
+
+	// snap is the shared fused snapshot plus the fusion bookkeeping that
+	// lets RefreshSource patch it in place. Snapshot-path queries evaluate
+	// under the read lock; patching and rebuilding hold the write lock, so
+	// a query never observes a half-applied delta. fp is the source-set
+	// fingerprint the snapshot reflects — a mismatch means some source
+	// changed outside RefreshSource and the snapshot rebuilds on next use.
+	snap struct {
+		mu    sync.RWMutex
+		fp    uint64
+		fs    *fuseState
+		stats *Stats
+	}
+
+	// refreshing counts in-flight RefreshSource calls. While nonzero,
+	// ensureFresh suppresses the fingerprint-mismatch cache nuke and
+	// acquireSnapshot suppresses stale-snapshot rebuilds: the refresh in
+	// flight will invalidate selectively, patch the snapshot, and publish
+	// the new fingerprint when it completes. Until then readers serve the
+	// pre-refresh world — the refresh's visibility point is its
+	// completion, not its first side effect.
+	refreshing atomic.Int32
+
+	// Delta subsystem counters (see DeltaCounters).
+	deltasApplied          atomic.Int64
+	entitiesPatched        atomic.Int64
+	fullRebuilds           atomic.Int64
+	selectiveInvalidations atomic.Int64
 }
 
 // SnapshotCounters reports how many computed queries took the fused-snapshot
@@ -207,6 +256,16 @@ func (m *Manager) sourceFingerprint() uint64 {
 func (m *Manager) ensureFresh() {
 	fp := m.sourceFingerprint()
 	if old := m.lastFP.Load(); old != fp {
+		if m.refreshing.Load() > 0 {
+			// A RefreshSource is mid-flight: it bumped the version but has
+			// not finished propagating the delta. Nuking here would defeat
+			// the concept-scoped invalidation it is about to perform, so
+			// keep serving the pre-refresh world; the refresh drops stale
+			// entries and publishes the fingerprint when it completes (and
+			// if it bails out, the next query lands here with refreshing
+			// back at zero).
+			return
+		}
 		// Invalidate before publishing the new fingerprint: a concurrent
 		// caller must never see the updated fingerprint while stale
 		// entries are still resident.
@@ -253,11 +312,22 @@ func (m *Manager) QueryString(src string) (*lorel.Result, *Stats, error) {
 // every query computed under the current source fingerprint — eval-only.
 func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
 	canon := q.String()
-	if m.cache == nil {
-		return m.queryCompute(q, canon)
+	// Analysis runs before the cache lookup because the entry's
+	// invalidation tags must be known when the singleflight call starts:
+	// InvalidateTags fences intersecting in-flight computations, and a
+	// call whose tags materialized only at store time could slip a stale
+	// result past a concurrent RefreshSource. The cost on the hit path is
+	// one AST walk, the same order as the q.String() canonicalization the
+	// lookup already pays.
+	an, err := m.analyze(q)
+	if err != nil {
+		return nil, nil, err
 	}
-	v, stats, err := m.cachedDo("query\x00"+canon, func() (any, *Stats, error) {
-		return pass(m.queryCompute(q, canon))
+	if m.cache == nil {
+		return m.queryCompute(q, canon, an)
+	}
+	v, stats, err := m.cachedDo("query\x00"+canon, an.cacheTags(m.opts), func() (any, *Stats, error) {
+		return pass(m.queryCompute(q, canon, an))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -286,14 +356,16 @@ func (s *Stats) clone() *Stats {
 // cache first if the source set changed) and stamps per-request cache flags
 // onto a deep copy of the computation's stats — the computation's Stats are
 // immutable once stored, but the flags differ per caller, and the reference
-// fields must not be shared between callers.
-func (m *Manager) cachedDo(key string, compute func() (any, *Stats, error)) (any, *Stats, error) {
+// fields must not be shared between callers. The tags scope the stored
+// entry for concept-level invalidation (RefreshSource drops only entries
+// whose tags intersect the changed source's concept).
+func (m *Manager) cachedDo(key string, tags []string, compute func() (any, *Stats, error)) (any, *Stats, error) {
 	m.ensureFresh()
 	type payload struct {
 		v     any
 		stats *Stats
 	}
-	v, outcome, err := m.cache.Do(key, func() (any, error) {
+	v, outcome, err := m.cache.DoTagged(key, tags, func() (any, error) {
 		val, stats, err := compute()
 		if err != nil {
 			return nil, err
@@ -308,6 +380,7 @@ func (m *Manager) cachedDo(key string, compute func() (any, *Stats, error)) (any
 	stats.CacheEnabled = true
 	stats.CacheHit = outcome != qcache.Miss
 	stats.Cache = m.cache.Counters()
+	stats.Delta = m.DeltaCounters()
 	return p.v, stats, nil
 }
 
@@ -335,11 +408,7 @@ func (m *Manager) planFor(q *lorel.Query, canon string) (*lorel.Plan, error) {
 
 // queryCompute runs one query, choosing between the eval-only snapshot fast
 // path and the full fetch+fuse pipeline.
-func (m *Manager) queryCompute(q *lorel.Query, canon string) (*lorel.Result, *Stats, error) {
-	an, err := m.analyze(q)
-	if err != nil {
-		return nil, nil, err
-	}
+func (m *Manager) queryCompute(q *lorel.Query, canon string, an *analysis) (*lorel.Result, *Stats, error) {
 	if m.cache != nil {
 		if m.snapshotSafe(an, q) {
 			res, stats, err := m.querySnapshot(q, canon)
@@ -355,27 +424,77 @@ func (m *Manager) queryCompute(q *lorel.Query, canon string) (*lorel.Result, *St
 
 // querySnapshot answers a query by evaluating its compiled plan against the
 // shared fused snapshot — the full integrated graph built once per source
-// fingerprint and shared across every snapshot-safe query.
+// fingerprint, shared across every snapshot-safe query, and patched in
+// place by RefreshSource. The evaluation holds the snapshot read lock, so
+// it never observes a half-applied delta; the answer graph is
+// self-contained, so nothing references the snapshot once eval returns.
 func (m *Manager) querySnapshot(q *lorel.Query, canon string) (*lorel.Result, *Stats, error) {
-	g, fstats, err := m.FusedGraph()
-	if err != nil {
-		return nil, nil, err
-	}
 	plan, err := m.planFor(q, canon)
 	if err != nil {
 		return nil, nil, err
 	}
-	t := time.Now()
-	res, err := plan.Eval(g)
+	fs, base, release, _, err := m.acquireSnapshot()
 	if err != nil {
 		return nil, nil, err
 	}
-	// fstats is already a private copy (cachedDo clones); reuse it so the
-	// fetch/fuse fields describe the snapshot's construction.
-	stats := fstats
+	defer release()
+	t := time.Now()
+	res, err := plan.Eval(fs.graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := base.clone()
 	stats.EvalTime = time.Since(t)
 	stats.SnapshotUsed = true
 	return res, stats, nil
+}
+
+// acquireSnapshot returns the current fused snapshot under its read lock,
+// building (or rebuilding) it first when no snapshot exists for the
+// current source fingerprint. The caller must invoke release when done
+// reading; built reports whether this call constructed the snapshot.
+//
+// While a RefreshSource is mid-flight (m.refreshing > 0) a stale snapshot
+// is served as-is: the refresh becomes visible atomically when it
+// completes (it patches the snapshot and publishes the new fingerprint),
+// and rebuilding here would only waste a full fusion that the patch
+// supersedes. Readers during the window observe the pre-refresh world,
+// consistent with what the result cache serves (see ensureFresh).
+func (m *Manager) acquireSnapshot() (fs *fuseState, stats *Stats, release func(), built bool, err error) {
+	for {
+		fp := m.sourceFingerprint()
+		m.snap.mu.RLock()
+		if m.snap.fs != nil && (m.snap.fp == fp || m.refreshing.Load() > 0) {
+			return m.snap.fs, m.snap.stats, m.snap.mu.RUnlock, built, nil
+		}
+		m.snap.mu.RUnlock()
+
+		m.snap.mu.Lock()
+		if m.snap.fs == nil || (m.snap.fp != fp && m.refreshing.Load() == 0) {
+			// Stamp the snapshot with a fingerprint computed atomically
+			// with the build, and verified unchanged after it: stamping a
+			// fingerprint observed before the lock could label a snapshot
+			// built from newer models with an older fingerprint, and a
+			// concurrent RefreshSource would then double-apply its delta.
+			for {
+				fpPre := m.sourceFingerprint()
+				nfs, nstats, berr := m.buildFuseState()
+				if berr != nil {
+					m.snap.mu.Unlock()
+					return nil, nil, nil, false, berr
+				}
+				if m.sourceFingerprint() != fpPre {
+					continue // a source moved mid-build; rebuild
+				}
+				m.snap.fs, m.snap.stats, m.snap.fp = nfs, nstats, fpPre
+				built = true
+				break
+			}
+		}
+		m.snap.mu.Unlock()
+		// Loop: re-take the read lock and re-check — the fingerprint may
+		// have moved again while we built.
+	}
 }
 
 // execute runs the full pipeline for one analyzed query: fetch, fuse, eval.
@@ -383,7 +502,7 @@ func (m *Manager) execute(q *lorel.Query, canon string, an *analysis) (*lorel.Re
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 
 	t0 := time.Now()
-	pops, err := m.fetch(an, stats)
+	pops, err := m.fetch(an, stats, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -459,28 +578,83 @@ func (m *Manager) snapshotSafe(an *analysis, q *lorel.Query) bool {
 	return true
 }
 
-// FusedGraph builds and returns the full integrated graph (every concept,
-// no pushdown): the materialized "consistent view of annotation data".
-// Views and the navigation layer render from it. The graph is cached like
-// query results — callers must treat it as read-only.
+// FusedGraph returns the full integrated graph (every concept, no
+// pushdown): the materialized "consistent view of annotation data". Views
+// and the navigation layer render from it. With the cache enabled the
+// returned graph is the shared fused snapshot — treat it as read-only, and
+// do not retain it across a source refresh: RefreshSource patches it in
+// place. Callers needing an isolated graph should run with DisableCache,
+// which builds a private one per call.
 func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
 	if m.cache == nil {
 		return m.fusedGraphUncached()
 	}
-	v, stats, err := m.cachedDo("fused\x00", func() (any, *Stats, error) {
-		return pass(m.fusedGraphUncached())
-	})
+	fs, base, release, built, err := m.acquireSnapshot()
 	if err != nil {
 		return nil, nil, err
 	}
-	return v.(*oem.Graph), stats, nil
+	g := fs.graph
+	stats := base.clone()
+	release()
+	stats.CacheEnabled = true
+	stats.CacheHit = !built
+	stats.Cache = m.cache.Counters()
+	stats.Delta = m.DeltaCounters()
+	return g, stats, nil
 }
 
+// WithFusedGraph runs fn over the fused graph with the snapshot read lock
+// held for fn's whole duration, so no concurrent RefreshSource patch can
+// mutate the graph mid-read. Readers that hold the graph for longer than
+// one call — batch annotation fanning work out to goroutines, long view
+// renders — must use this instead of retaining FusedGraph's return value.
+// fn must not call back into the manager's refresh or snapshot paths.
+func (m *Manager) WithFusedGraph(fn func(*oem.Graph, *Stats) error) error {
+	if m.cache == nil {
+		g, stats, err := m.fusedGraphUncached()
+		if err != nil {
+			return err
+		}
+		return fn(g, stats)
+	}
+	fs, base, release, _, err := m.acquireSnapshot()
+	if err != nil {
+		return err
+	}
+	defer release()
+	return fn(fs.graph, base.clone())
+}
+
+// buildFuseState runs the full fetch+fuse pipeline over every mapped
+// source and records the fusion bookkeeping incremental maintenance needs
+// (including per-entity structural hashes).
+func (m *Manager) buildFuseState() (*fuseState, *Stats, error) {
+	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
+	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
+	t0 := time.Now()
+	pops, err := m.fetch(an, stats, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.FetchTime = time.Since(t0)
+	t1 := time.Now()
+	rec := &fuseState{}
+	if _, err := m.fuseInto(an, pops, stats, rec); err != nil {
+		return nil, nil, err
+	}
+	stats.FuseTime = time.Since(t1)
+	return rec, stats, nil
+}
+
+// fusedGraphUncached is the DisableCache variant: same pipeline, no
+// recorder bookkeeping and no entity hashing — with no cache there is no
+// shared snapshot to maintain, so that work would be thrown away (and it
+// would skew the DisableCache ablation baselines).
 func (m *Manager) fusedGraphUncached() (*oem.Graph, *Stats, error) {
 	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 	t0 := time.Now()
-	pops, err := m.fetch(an, stats)
+	pops, err := m.fetch(an, stats, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -509,6 +683,23 @@ type analysis struct {
 }
 
 func (a *analysis) needs(concept string) bool { return a.needAll || a.needed[concept] }
+
+// cacheTags derives the invalidation tags for a query's cached result: the
+// concepts whose source data the computation depended on. A query that
+// pruned a source cannot be invalidated by that source changing; one that
+// touched everything (wildcard paths, or pruning disabled so every source
+// participates) is tagged "*" and falls to any source change.
+func (a *analysis) cacheTags(opts Options) []string {
+	if a.needAll || opts.DisablePruning || len(a.needed) == 0 {
+		return []string{"*"}
+	}
+	tags := make([]string, 0, len(a.needed))
+	for c := range a.needed {
+		tags = append(tags, c)
+	}
+	sort.Strings(tags)
+	return tags
+}
 
 var conceptNames = map[string]string{
 	"gene": "Gene", "annotation": "Annotation", "disease": "Disease", "protein": "Protein",
@@ -695,13 +886,20 @@ type population struct {
 	graph        *oem.Graph
 	entities     []oem.OID
 	fetchedCount int
+	// hashes holds the structural fingerprint of each kept entity's
+	// source-model form, parallel to entities. Populated only for recorded
+	// (snapshot-building) fetches — the delta subsystem keys its
+	// bookkeeping by these.
+	hashes []uint64
 	// fallbacks counts entities kept because a pushed-down predicate
 	// errored at the source (see Stats.PushdownFallbacks).
 	fallbacks int
 }
 
-// fetch translates each relevant source in parallel.
-func (m *Manager) fetch(an *analysis, stats *Stats) ([]*population, error) {
+// fetch translates each relevant source in parallel. hashed requests
+// per-entity structural hashes (snapshot builds need them; per-query
+// fetches skip the extra pass).
+func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool) ([]*population, error) {
 	type job struct {
 		mapping *gml.SourceMapping
 		w       wrapper.Wrapper
@@ -738,7 +936,7 @@ func (m *Manager) fetch(an *analysis, stats *Stats) ([]*population, error) {
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		pop, fetched, err := m.fetchOne(j.w, j.mapping, condsFor[j.mapping.Concept])
+		pop, fetched, err := m.fetchOne(j.w, j.mapping, condsFor[j.mapping.Concept], hashed)
 		if err != nil {
 			errs[i] = err
 			return
@@ -778,7 +976,7 @@ type pushCond struct {
 	c lorel.Cond
 }
 
-func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pushCond) (*population, int, error) {
+func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pushCond, hashed bool) (*population, int, error) {
 	src, err := w.Model()
 	if err != nil {
 		return nil, 0, err
@@ -826,6 +1024,9 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 		}
 		if keep {
 			pop.entities = append(pop.entities, te)
+			if hashed {
+				pop.hashes = append(pop.hashes, delta.HashEntity(src, e))
+			}
 		}
 	}
 	return pop, fetched, nil

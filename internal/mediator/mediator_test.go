@@ -438,7 +438,7 @@ func TestPushdownFallbackCounted(t *testing.T) {
 	// per-entity environment, so evaluation fails for every entity.
 	bad := lorel.ExistsCond{P: lorel.Path{Base: "NoSuchVar", Steps: []lorel.Step{lorel.LabelStep{Name: "Symbol"}}}}
 
-	pop, fetched, err := m.fetchOne(w, mp, []pushCond{{v: "G", c: bad}})
+	pop, fetched, err := m.fetchOne(w, mp, []pushCond{{v: "G", c: bad}}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +459,7 @@ func TestPushdownFallbackCounted(t *testing.T) {
 		pushdown:     map[string][]lorel.Cond{"G": {bad}},
 	}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}}
-	if _, err := m.fetch(an, stats); err != nil {
+	if _, err := m.fetch(an, stats, false); err != nil {
 		t.Fatal(err)
 	}
 	if stats.PushdownFallbacks != fetched {

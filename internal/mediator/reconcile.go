@@ -66,6 +66,11 @@ func (c Conflict) String() string {
 	return fmt.Sprintf("%s.%s: %s -> %v (%s)", c.EntityKey, c.Label, strings.Join(parts, " vs "), c.Winner.Value, c.Winner.Source)
 }
 
+// valueKey normalizes a contribution value for grouping and removal:
+// values of any type (including non-comparable ones) key by type and
+// printed form, the same equivalence reconciliation groups by.
+func valueKey(v any) string { return fmt.Sprintf("%T:%v", v, v) }
+
 // reconcile picks the winning values for one label from per-source
 // contributions. priority maps source name -> rank (lower wins). It returns
 // the values to materialize and, when sources disagreed, the conflict
@@ -80,10 +85,9 @@ func reconcile(entityKey, label string, contributions []SourceValue, policy Poli
 		sources []string
 	}
 	var groups []group
-	keyOf := func(v any) string { return fmt.Sprintf("%T:%v", v, v) }
 	seen := map[string]int{}
 	for _, c := range contributions {
-		k := keyOf(c.Value)
+		k := valueKey(c.Value)
 		if gi, ok := seen[k]; ok {
 			groups[gi].sources = append(groups[gi].sources, c.Source)
 			// Keep the highest-priority provenance for the group.

@@ -1,0 +1,885 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/gml"
+	"repro/internal/oem"
+)
+
+// This file implements incremental maintenance of the shared fused
+// snapshot: the fuseState recorded during a full fusion holds enough
+// bookkeeping to apply a delta.ChangeSet to the fused graph in place —
+// remove the stale fused entities, translate and re-fuse only the touched
+// ones, and re-reconcile only the genes whose contributions changed —
+// instead of rebuilding the whole integrated view.
+
+// fuseState is the recorded fusion bookkeeping for one fused snapshot.
+// All mutation happens under the Manager's snapshot write lock.
+type fuseState struct {
+	graph    *oem.Graph
+	root     oem.OID
+	policy   Policy
+	priority map[string]int
+
+	genes    map[string]*fusedGene // fusion key -> gene
+	bySymbol map[string]*fusedGene
+	byGeneID map[int64]*fusedGene
+
+	// Resident link-concept entities by (source, structural hash); a slice
+	// holds duplicates (identical records) separately.
+	ents map[string]map[uint64][]*fusedEntity
+	// Gene-concept entities by (source, structural hash) -> owning fused
+	// gene, so a gene-entity deletion finds the part to take out.
+	geneParts map[string]map[uint64][]*fusedGene
+	// Reverse join indexes: which resident entities could attach to a gene
+	// carrying this symbol / GeneID. Consulted when a gene appears or
+	// changes keys, so relinking is O(candidates), not O(all entities).
+	entBySymbol map[string]map[*fusedEntity]bool
+	entByGeneID map[int64]map[*fusedEntity]bool
+}
+
+func (fs *fuseState) init(g *oem.Graph, root oem.OID, policy Policy, priority map[string]int,
+	genes map[string]*fusedGene, bySymbol map[string]*fusedGene, byGeneID map[int64]*fusedGene) {
+	fs.graph, fs.root, fs.policy, fs.priority = g, root, policy, priority
+	fs.genes, fs.bySymbol, fs.byGeneID = genes, bySymbol, byGeneID
+	fs.ents = map[string]map[uint64][]*fusedEntity{}
+	fs.geneParts = map[string]map[uint64][]*fusedGene{}
+	fs.entBySymbol = map[string]map[*fusedEntity]bool{}
+	fs.entByGeneID = map[int64]map[*fusedEntity]bool{}
+}
+
+func (fs *fuseState) indexGenePart(source string, hash uint64, fg *fusedGene) {
+	byHash := fs.geneParts[source]
+	if byHash == nil {
+		byHash = map[uint64][]*fusedGene{}
+		fs.geneParts[source] = byHash
+	}
+	byHash[hash] = append(byHash[hash], fg)
+}
+
+func (fs *fuseState) addEntity(fe *fusedEntity) {
+	byHash := fs.ents[fe.source]
+	if byHash == nil {
+		byHash = map[uint64][]*fusedEntity{}
+		fs.ents[fe.source] = byHash
+	}
+	byHash[fe.hash] = append(byHash[fe.hash], fe)
+	for _, s := range fe.symbols {
+		set := fs.entBySymbol[s]
+		if set == nil {
+			set = map[*fusedEntity]bool{}
+			fs.entBySymbol[s] = set
+		}
+		set[fe] = true
+	}
+	for _, id := range fe.geneIDs {
+		set := fs.entByGeneID[id]
+		if set == nil {
+			set = map[*fusedEntity]bool{}
+			fs.entByGeneID[id] = set
+		}
+		set[fe] = true
+	}
+}
+
+func (fs *fuseState) unindexEntity(fe *fusedEntity) {
+	for _, s := range fe.symbols {
+		if set := fs.entBySymbol[s]; set != nil {
+			delete(set, fe)
+			if len(set) == 0 {
+				delete(fs.entBySymbol, s)
+			}
+		}
+	}
+	for _, id := range fe.geneIDs {
+		if set := fs.entByGeneID[id]; set != nil {
+			delete(set, fe)
+			if len(set) == 0 {
+				delete(fs.entByGeneID, id)
+			}
+		}
+	}
+}
+
+// entityCandidates gathers resident entities whose join keys touch any of
+// the given symbols / GeneIDs.
+func (fs *fuseState) entityCandidates(symbols []string, ids []int64) map[*fusedEntity]bool {
+	out := map[*fusedEntity]bool{}
+	for _, s := range symbols {
+		for fe := range fs.entBySymbol[s] {
+			out[fe] = true
+		}
+	}
+	for _, id := range ids {
+		for fe := range fs.entByGeneID[id] {
+			out[fe] = true
+		}
+	}
+	return out
+}
+
+func containsOwner(fe *fusedEntity, key string) bool {
+	for _, o := range fe.owners {
+		if o == key {
+			return true
+		}
+	}
+	return false
+}
+
+// dropOwner forgets a gene on the entity side: the owners entry and the
+// contribution records scoped to it. The gene-side contributions are the
+// caller's problem (they die with the gene, or are stripped explicitly).
+func dropOwner(fe *fusedEntity, key string) {
+	kept := fe.owners[:0]
+	for _, o := range fe.owners {
+		if o != key {
+			kept = append(kept, o)
+		}
+	}
+	fe.owners = kept
+	keptC := fe.contribs[:0]
+	for _, c := range fe.contribs {
+		if c.owner != key {
+			keptC = append(keptC, c)
+		}
+	}
+	fe.contribs = keptC
+}
+
+// removeContrib strips one (source, value) contribution from a gene's
+// label; it reports whether one was found — a miss means the bookkeeping
+// and the graph have diverged and the snapshot must be dropped.
+func removeContrib(fg *fusedGene, label, source, vk string) bool {
+	list := fg.contribs[label]
+	for i, sv := range list {
+		if sv.Source == source && valueKey(sv.Value) == vk {
+			fg.contribs[label] = append(list[:i], list[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+type dirtySet map[*fusedGene]map[string]bool
+
+func (d dirtySet) mark(fg *fusedGene, label string) {
+	labels := d[fg]
+	if labels == nil {
+		labels = map[string]bool{}
+		d[fg] = labels
+	}
+	labels[label] = true
+}
+
+// apply patches the fused snapshot in place from one source's ChangeSet:
+// deletions first (a modified entity frees its slot before its new form
+// arrives), then upserts, then one re-reconciliation pass over the genes
+// whose contributions changed. Any bookkeeping inconsistency aborts with
+// an error; the caller must then discard the snapshot.
+func (fs *fuseState) apply(cs *delta.ChangeSet, mp *gml.SourceMapping, stats *Stats) error {
+	dirty := dirtySet{}
+	for _, d := range cs.Deleted {
+		var err error
+		if mp.Concept == "Gene" {
+			err = fs.removeGenePart(mp.Source, d.Hash, dirty)
+		} else {
+			err = fs.removeEntity(mp.Source, d.Hash, dirty)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, u := range cs.Upserted {
+		var err error
+		if mp.Concept == "Gene" {
+			err = fs.upsertGene(cs.Graph, u, mp, dirty)
+		} else {
+			err = fs.upsertEntity(cs.Graph, u, mp, dirty)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	conflictsChanged := false
+	for fg, labels := range dirty {
+		if fs.genes[fg.key] != fg {
+			// Removed (or replaced) while dirty; nothing to redo, but its
+			// recorded conflicts died with it.
+			conflictsChanged = conflictsChanged || len(fg.conflicts) > 0
+			continue
+		}
+		changed, err := fs.rereconcile(fg, labels)
+		if err != nil {
+			return err
+		}
+		conflictsChanged = conflictsChanged || changed
+	}
+	// The conflict list is O(world) to regenerate; most deltas (the
+	// mostly-append, single-contributor case) touch no conflicts at all
+	// and skip it.
+	if conflictsChanged {
+		fs.rebuildConflicts(stats)
+	}
+	stats.Fetched[mp.Source] = cs.Total
+	stats.Kept[mp.Source] = cs.Total
+	// Graph integrity is enforced structurally (every removal detaches its
+	// in-edges first); the O(graph) Validate sweep stays out of the hot
+	// path and runs in the test suite instead.
+	return nil
+}
+
+// hashCounts returns the multiset of source-entity hashes currently fused
+// into the snapshot for one source — exactly the old-model hash multiset a
+// structural diff needs, so a refresh never has to re-hash the model it is
+// replacing.
+func (fs *fuseState) hashCounts(source string) map[uint64]int {
+	out := map[uint64]int{}
+	for h, list := range fs.ents[source] {
+		out[h] += len(list)
+	}
+	for h, owners := range fs.geneParts[source] {
+		out[h] += len(owners)
+	}
+	return out
+}
+
+// removeEntity takes one link-concept entity out of the snapshot: root and
+// gene edges detached, contributions withdrawn, subtree deleted.
+func (fs *fuseState) removeEntity(source string, hash uint64, dirty dirtySet) error {
+	list := fs.ents[source][hash]
+	if len(list) == 0 {
+		return fmt.Errorf("mediator: delta deletes unknown %s entity (hash %x)", source, hash)
+	}
+	fe := list[len(list)-1]
+	if len(list) == 1 {
+		delete(fs.ents[source], hash)
+	} else {
+		fs.ents[source][hash] = list[:len(list)-1]
+	}
+	fs.graph.RemoveRef(fs.root, fe.concept, fe.oid)
+	for _, key := range fe.owners {
+		if fg := fs.genes[key]; fg != nil {
+			fs.graph.RemoveRef(fg.oid, fe.concept, fe.oid)
+		}
+	}
+	for _, c := range fe.contribs {
+		fg := fs.genes[c.owner]
+		if fg == nil {
+			continue
+		}
+		if !removeContrib(fg, c.label, fe.source, c.valueKey) {
+			return fmt.Errorf("mediator: delta bookkeeping lost a %s contribution on gene %s", c.label, c.owner)
+		}
+		dirty.mark(fg, c.label)
+	}
+	fs.unindexEntity(fe)
+	fs.graph.RemoveSubtree(fe.oid)
+	return nil
+}
+
+// upsertEntity translates a new or modified link-concept entity straight
+// into the snapshot graph, links it to its owner genes, and records it.
+func (fs *fuseState) upsertEntity(src *oem.Graph, u delta.Change, mp *gml.SourceMapping, dirty dirtySet) error {
+	te, err := gml.TranslateEntity(fs.graph, src, u.OID, mp)
+	if err != nil {
+		return err
+	}
+	if err := fs.graph.AddRef(fs.root, mp.Concept, te); err != nil {
+		return err
+	}
+	fe := joinEntity(fs.graph, te, mp.Concept)
+	fe.source, fe.concept, fe.hash, fe.oid = mp.Source, mp.Concept, u.Hash, te
+	for _, fg := range ownersForKeys(fs.bySymbol, fs.byGeneID, fe) {
+		if err := fs.linkEntity(fe, fg, dirty); err != nil {
+			return err
+		}
+	}
+	fs.addEntity(fe)
+	return nil
+}
+
+// linkEntity attaches a resident entity to an owner gene and applies its
+// contributions, mirroring fuse pass 2 for exactly one (entity, gene)
+// pair.
+func (fs *fuseState) linkEntity(fe *fusedEntity, fg *fusedGene, dirty dirtySet) error {
+	if err := fs.graph.AddRef(fg.oid, fe.concept, fe.oid); err != nil {
+		return err
+	}
+	fe.owners = append(fe.owners, fg.key)
+	for _, lc := range contribsFor(fs.graph, fe.oid, fg.geneIDs, fe.concept, fe.source) {
+		fg.contribs[lc.label] = append(fg.contribs[lc.label], lc.sv)
+		fe.contribs = append(fe.contribs, ownedContrib{owner: fg.key, label: lc.label, valueKey: valueKey(lc.sv.Value)})
+		dirty.mark(fg, lc.label)
+	}
+	return nil
+}
+
+// removeGenePart takes one source's gene entity out of a fused gene:
+// structure refs and contributions withdrawn; when it was the gene's last
+// part the whole fused gene goes, otherwise join keys are recomputed and
+// entities that no longer match are unlinked.
+func (fs *fuseState) removeGenePart(source string, hash uint64, dirty dirtySet) error {
+	owners := fs.geneParts[source][hash]
+	if len(owners) == 0 {
+		return fmt.Errorf("mediator: delta deletes unknown %s gene entity (hash %x)", source, hash)
+	}
+	fg := owners[len(owners)-1]
+	if len(owners) == 1 {
+		delete(fs.geneParts[source], hash)
+	} else {
+		fs.geneParts[source][hash] = owners[:len(owners)-1]
+	}
+	var part *genePart
+	for i, p := range fg.parts {
+		if p.source == source && p.hash == hash {
+			part = p
+			fg.parts = append(fg.parts[:i], fg.parts[i+1:]...)
+			break
+		}
+	}
+	if part == nil {
+		return fmt.Errorf("mediator: gene %s has no %s part (hash %x)", fg.key, source, hash)
+	}
+	for _, r := range part.refs {
+		fs.graph.RemoveRef(fg.oid, r.Label, r.Target)
+		fs.graph.RemoveSubtree(r.Target)
+	}
+	for _, c := range part.contribs {
+		if !removeContrib(fg, c.label, source, c.valueKey) {
+			return fmt.Errorf("mediator: delta bookkeeping lost a %s contribution on gene %s", c.label, fg.key)
+		}
+		dirty.mark(fg, c.label)
+	}
+	if len(fg.parts) == 0 {
+		return fs.removeGene(fg, dirty)
+	}
+	// Recompute the join-key unions from the remaining parts and drop the
+	// index entries (and entity links) the removed part was carrying.
+	oldSymbols, oldIDs := fg.symbols, fg.geneIDs
+	fg.symbols, fg.geneIDs = map[string]bool{}, map[int64]bool{}
+	for _, p := range fg.parts {
+		for _, s := range p.symbols {
+			fg.symbols[s] = true
+		}
+		for _, id := range p.geneIDs {
+			fg.geneIDs[id] = true
+		}
+	}
+	var lostSymbols []string
+	for s := range oldSymbols {
+		if !fg.symbols[s] {
+			lostSymbols = append(lostSymbols, s)
+			if fs.bySymbol[s] == fg {
+				delete(fs.bySymbol, s)
+			}
+		}
+	}
+	var lostIDs []int64
+	for id := range oldIDs {
+		if !fg.geneIDs[id] {
+			lostIDs = append(lostIDs, id)
+			if fs.byGeneID[id] == fg {
+				delete(fs.byGeneID, id)
+			}
+		}
+	}
+	if err := fs.reclaimKeys(lostSymbols, lostIDs, dirty); err != nil {
+		return err
+	}
+	for fe := range fs.entityCandidates(lostSymbols, lostIDs) {
+		if !containsOwner(fe, fg.key) {
+			continue
+		}
+		if stillOwner(ownersForKeys(fs.bySymbol, fs.byGeneID, fe), fg) {
+			continue
+		}
+		if err := fs.unlinkEntity(fe, fg, dirty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reclaimKeys re-resolves join keys whose index entry just went away:
+// when another resident gene still carries the key (alias collisions make
+// this possible), it takes the slot over, and candidate entities are
+// relinked to their re-resolved owners — the linkage a full re-fusion
+// would produce. The claimant scan is O(genes) per lost key, which is fine
+// on this path: keys are only lost when gene entities shrink or vanish,
+// and deltas are small by construction.
+func (fs *fuseState) reclaimKeys(lostSymbols []string, lostIDs []int64, dirty dirtySet) error {
+	for _, s := range lostSymbols {
+		if _, taken := fs.bySymbol[s]; taken {
+			continue
+		}
+		for _, other := range fs.genes {
+			if other.symbols[s] {
+				fs.bySymbol[s] = other
+				break
+			}
+		}
+	}
+	for _, id := range lostIDs {
+		if _, taken := fs.byGeneID[id]; taken {
+			continue
+		}
+		for _, other := range fs.genes {
+			if other.geneIDs[id] {
+				fs.byGeneID[id] = other
+				break
+			}
+		}
+	}
+	for fe := range fs.entityCandidates(lostSymbols, lostIDs) {
+		for _, owner := range ownersForKeys(fs.bySymbol, fs.byGeneID, fe) {
+			if containsOwner(fe, owner.key) {
+				continue
+			}
+			if err := fs.linkEntity(fe, owner, dirty); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func stillOwner(owners []*fusedGene, fg *fusedGene) bool {
+	for _, o := range owners {
+		if o == fg {
+			return true
+		}
+	}
+	return false
+}
+
+// unlinkEntity detaches an entity from a gene that still exists,
+// withdrawing the contributions it scoped to that gene.
+func (fs *fuseState) unlinkEntity(fe *fusedEntity, fg *fusedGene, dirty dirtySet) error {
+	fs.graph.RemoveRef(fg.oid, fe.concept, fe.oid)
+	for _, c := range fe.contribs {
+		if c.owner != fg.key {
+			continue
+		}
+		if !removeContrib(fg, c.label, fe.source, c.valueKey) {
+			return fmt.Errorf("mediator: delta bookkeeping lost a %s contribution on gene %s", c.label, fg.key)
+		}
+		dirty.mark(fg, c.label)
+	}
+	dropOwner(fe, fg.key)
+	return nil
+}
+
+// removeGene deletes a fused gene outright: linked entities are released
+// (they stay resident under the root, as a fresh full fusion would keep
+// them), the gene's private subtree is deleted, the indexes forget it, and
+// any join key another gene also carries is reclaimed so those entities
+// re-link the way a full re-fusion would link them.
+func (fs *fuseState) removeGene(fg *fusedGene, dirty dirtySet) error {
+	for fe := range fs.entityCandidates(mapKeys(fg.symbols), int64Keys(fg.geneIDs)) {
+		if containsOwner(fe, fg.key) {
+			dropOwner(fe, fg.key)
+		}
+	}
+	// Detach the shared link-entity edges so RemoveSubtree stays inside
+	// the gene's private objects (structure imports and reconciled atoms).
+	for concept := range linkContrib {
+		fs.graph.RemoveRefs(fg.oid, concept)
+	}
+	fs.graph.RemoveRef(fs.root, "Gene", fg.oid)
+	fs.graph.RemoveSubtree(fg.oid)
+	delete(fs.genes, fg.key)
+	for s := range fg.symbols {
+		if fs.bySymbol[s] == fg {
+			delete(fs.bySymbol, s)
+		}
+	}
+	for id := range fg.geneIDs {
+		if fs.byGeneID[id] == fg {
+			delete(fs.byGeneID, id)
+		}
+	}
+	return fs.reclaimKeys(mapKeys(fg.symbols), int64Keys(fg.geneIDs), dirty)
+}
+
+// upsertGene fuses a new or modified gene entity into the snapshot:
+// translate in place, merge into (or create) the fused gene for its
+// fusion key, then link every resident entity that joins to the keys it
+// brought in.
+func (fs *fuseState) upsertGene(src *oem.Graph, u delta.Change, mp *gml.SourceMapping, dirty dirtySet) error {
+	te, err := gml.TranslateEntity(fs.graph, src, u.OID, mp)
+	if err != nil {
+		return err
+	}
+	teo := fs.graph.Get(te)
+	key := gml.CanonicalSymbol(fs.graph.StringUnder(te, "Symbol"))
+	aliases := stringsUnder(fs.graph, te, "Alias")
+	geneID, hasID := intUnder(fs.graph, te, "GeneID")
+
+	fg := fs.genes[key]
+	created := fg == nil
+	if created {
+		fg = newFusedGene(key)
+		fg.oid = fs.graph.NewComplex()
+		if err := fs.graph.AddRef(fs.root, "Gene", fg.oid); err != nil {
+			return err
+		}
+		fs.genes[key] = fg
+	}
+	part := &genePart{source: mp.Source, hash: u.Hash, symbols: []string{key}}
+	for _, ref := range teo.Refs {
+		if isReconciled(ref.Label) {
+			c := fs.graph.Get(ref.Target)
+			if c != nil && c.IsAtomic() {
+				lbl := canonLabel(ref.Label)
+				v := c.Value()
+				fg.contribs[lbl] = append(fg.contribs[lbl], SourceValue{Source: mp.Source, Value: v})
+				part.contribs = append(part.contribs, contribRecord{label: lbl, valueKey: valueKey(v)})
+				dirty.mark(fg, lbl)
+			}
+			// The value became a contribution (or was unusable); its
+			// translated object is not attached anywhere.
+			fs.graph.RemoveSubtree(ref.Target)
+			continue
+		}
+		if err := fs.graph.AddRef(fg.oid, ref.Label, ref.Target); err != nil {
+			return err
+		}
+		part.refs = append(part.refs, oem.Ref{Label: ref.Label, Target: ref.Target})
+	}
+	// The translation wrapper object is empty-handed now; drop it without
+	// touching the children that moved onto the fused gene.
+	if err := fs.graph.SetRefs(te, nil); err != nil {
+		return err
+	}
+	fs.graph.RemoveSubtree(te)
+
+	fg.parts = append(fg.parts, part)
+	fs.indexGenePart(mp.Source, u.Hash, fg)
+	// Installing this part's keys may steal index slots from other genes
+	// (alias collisions); remember the previous claimants so entities they
+	// owned through those keys can be re-routed, the way a full re-fusion
+	// would route them.
+	robbed := map[*fusedGene]bool{}
+	claim := func(s string) {
+		if prev := fs.bySymbol[s]; prev != nil && prev != fg {
+			robbed[prev] = true
+		}
+		fs.bySymbol[s] = fg
+	}
+	fg.symbols[key] = true
+	claim(key)
+	for _, a := range aliases {
+		cs := gml.CanonicalSymbol(a)
+		fg.symbols[cs] = true
+		part.symbols = append(part.symbols, cs)
+		claim(cs)
+	}
+	if hasID {
+		if prev := fs.byGeneID[geneID]; prev != nil && prev != fg {
+			robbed[prev] = true
+		}
+		fg.geneIDs[geneID] = true
+		part.geneIDs = append(part.geneIDs, geneID)
+		fs.byGeneID[geneID] = fg
+	}
+	if created {
+		// Materialize every reconciled label, even contribution-less ones.
+		for _, l := range reconciledLabels {
+			dirty.mark(fg, l)
+		}
+	}
+	// Re-route resident entities joining through this part's keys: link
+	// the ones that now resolve to fg, and unlink any that a robbed gene
+	// owned but no longer resolves to.
+	for fe := range fs.entityCandidates(part.symbols, part.geneIDs) {
+		owners := ownersForKeys(fs.bySymbol, fs.byGeneID, fe)
+		if !containsOwner(fe, fg.key) && stillOwner(owners, fg) {
+			if err := fs.linkEntity(fe, fg, dirty); err != nil {
+				return err
+			}
+		}
+		for prev := range robbed {
+			if containsOwner(fe, prev.key) && !stillOwner(owners, prev) {
+				if err := fs.unlinkEntity(fe, prev, dirty); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rereconcile recomputes the winners for the given reconciled labels of
+// one gene: the previous winner atoms are deleted and fresh ones
+// materialized from the current contribution set. changed reports whether
+// any label's conflict state was (or is) non-empty — the caller's cue to
+// regenerate the stats conflict list.
+func (fs *fuseState) rereconcile(fg *fusedGene, labels map[string]bool) (changed bool, err error) {
+	for label := range labels {
+		for _, t := range fs.graph.Children(fg.oid, label) {
+			fs.graph.RemoveSubtree(t)
+		}
+		fs.graph.RemoveRefs(fg.oid, label)
+		winners, conflict := reconcile(fg.key, label, fg.contribs[label], fs.policy, fs.priority)
+		if fg.conflicts == nil {
+			fg.conflicts = map[string]*Conflict{}
+		}
+		if conflict != nil || fg.conflicts[label] != nil {
+			changed = true
+		}
+		if conflict != nil {
+			fg.conflicts[label] = conflict
+		} else {
+			delete(fg.conflicts, label)
+		}
+		for _, w := range winners {
+			atom, err := fs.graph.NewAtom(w.Value)
+			if err != nil {
+				return changed, fmt.Errorf("mediator: reconcile %s.%s: %v", fg.key, label, err)
+			}
+			if err := fs.graph.AddRef(fg.oid, label, atom); err != nil {
+				return changed, err
+			}
+		}
+	}
+	fs.graph.SortRefs(fg.oid)
+	return changed, nil
+}
+
+// rebuildConflicts refreshes the snapshot stats' conflict list from the
+// per-gene records, in deterministic (fusion key, label) order.
+func (fs *fuseState) rebuildConflicts(stats *Stats) {
+	keys := make([]string, 0, len(fs.genes))
+	for k := range fs.genes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	stats.Conflicts = stats.Conflicts[:0]
+	for _, k := range keys {
+		fg := fs.genes[k]
+		for _, label := range reconciledLabels {
+			if c := fg.conflicts[label]; c != nil {
+				stats.Conflicts = append(stats.Conflicts, *c)
+			}
+		}
+	}
+}
+
+func mapKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func int64Keys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Manager-level refresh orchestration
+// ---------------------------------------------------------------------------
+
+// DeltaCounters reports the cumulative activity of the delta subsystem.
+type DeltaCounters struct {
+	// DeltasApplied counts refreshes absorbed incrementally (including
+	// empty deltas, which cost nothing by design).
+	DeltasApplied int64
+	// EntitiesPatched counts entity-level changes applied to the snapshot.
+	EntitiesPatched int64
+	// FullRebuilds counts refreshes that fell back to dropping everything:
+	// delta unavailable, too large, or the snapshot was unpatchable.
+	FullRebuilds int64
+	// SelectiveInvalidations counts cached results dropped by
+	// concept-scoped invalidation (instead of a full cache nuke).
+	SelectiveInvalidations int64
+}
+
+// DeltaCounters snapshots the delta subsystem's cumulative counters.
+func (m *Manager) DeltaCounters() DeltaCounters {
+	return DeltaCounters{
+		DeltasApplied:          m.deltasApplied.Load(),
+		EntitiesPatched:        m.entitiesPatched.Load(),
+		FullRebuilds:           m.fullRebuilds.Load(),
+		SelectiveInvalidations: m.selectiveInvalidations.Load(),
+	}
+}
+
+// RefreshResult reports what one RefreshSource call did.
+type RefreshResult struct {
+	Source     string
+	OldVersion uint64
+	NewVersion uint64
+	// Upserted/Deleted/Total describe the computed ChangeSet (zero when
+	// the refresh fell straight back to a full rebuild).
+	Upserted int
+	Deleted  int
+	Total    int
+	// Native: the wrapper emitted its own changelog (delta.Source) rather
+	// than relying on the structural differ.
+	Native bool
+	// FullRebuild: the delta path was not taken; Reason says why. The
+	// rebuild itself happens lazily, on the next query or snapshot use.
+	FullRebuild bool
+	Reason      string
+	// Patched: the shared fused snapshot was updated in place.
+	Patched bool
+	// Invalidated is the number of cached results dropped by
+	// concept-scoped invalidation.
+	Invalidated int
+	Took        time.Duration
+}
+
+// RefreshSource refreshes one registered source and propagates the change
+// as a delta: the old and new ANNODA-OML models are compared (or the
+// wrapper's native changelog consulted), the shared fused snapshot is
+// patched in place, and only cached results whose concepts the change
+// touches are invalidated. When the delta is unavailable or too large the
+// call degrades to the pre-delta behaviour — drop everything, rebuild on
+// next use — so it is always safe to call.
+func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
+	w := m.reg.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("mediator: source %q not registered", name)
+	}
+	start := time.Now()
+	rr := &RefreshResult{Source: name, OldVersion: w.Version()}
+	mp := m.gl.MappingFor(name)
+
+	fullRebuild := func(reason string) (*RefreshResult, error) {
+		rr.FullRebuild = true
+		rr.Reason = reason
+		m.fullRebuilds.Add(1)
+		if m.cache != nil {
+			m.cache.Invalidate()
+			// Publish the post-refresh fingerprint so ensureFresh does not
+			// nuke a second time; losing the CAS to a concurrent refresher
+			// is fine — they nuked for us.
+			m.lastFP.CompareAndSwap(m.lastFP.Load(), m.sourceFingerprint())
+		}
+		rr.Took = time.Since(start)
+		return rr, nil
+	}
+
+	if m.cache == nil || mp == nil {
+		// No cache means no snapshot and nothing to invalidate
+		// selectively; an unmapped source never entered the fused view.
+		w.Refresh()
+		rr.NewVersion = w.Version()
+		rr.FullRebuild = true
+		rr.Reason = "delta maintenance needs the result cache and a mapped source"
+		m.fullRebuilds.Add(1)
+		rr.Took = time.Since(start)
+		return rr, nil
+	}
+
+	// From the wrapper's version bump until the delta is fully propagated,
+	// concurrent queries must keep serving the pre-refresh world instead
+	// of reacting to the fingerprint change (ensureFresh would nuke the
+	// whole cache, acquireSnapshot would waste a full rebuild). The
+	// refreshing gate holds them off; the refresh becomes visible when
+	// this function publishes the new fingerprint and returns.
+	m.refreshing.Add(1)
+	defer m.refreshing.Add(-1)
+
+	// The differ needs a baseline for the pre-refresh population. When the
+	// fused snapshot is current it already records every entity's hash —
+	// the old model never gets re-hashed (or even rebuilt). Otherwise the
+	// old model itself must be in hand before Refresh discards it.
+	fpBefore := m.sourceFingerprint()
+	var oldCounts map[uint64]int
+	m.snap.mu.RLock()
+	if m.snap.fs != nil && m.snap.fp == fpBefore {
+		oldCounts = m.snap.fs.hashCounts(name)
+	}
+	m.snap.mu.RUnlock()
+	var oldModel *oem.Graph
+	if oldCounts == nil {
+		var err error
+		oldModel, err = w.Model()
+		if err != nil {
+			return nil, fmt.Errorf("mediator: source %s: %v", name, err)
+		}
+	}
+	w.Refresh()
+	rr.NewVersion = w.Version()
+	newModel, err := w.Model()
+	if err != nil {
+		// Refreshed but unreadable; the fingerprint moved, so ensureFresh
+		// will drop stale results on the next query.
+		return nil, fmt.Errorf("mediator: source %s: %v", name, err)
+	}
+	fpAfter := m.sourceFingerprint()
+
+	var cs *delta.ChangeSet
+	if ds, ok := w.(delta.Source); ok {
+		if native, ok := ds.Changes(rr.OldVersion); ok && native != nil {
+			cs = native
+			rr.Native = true
+		}
+	}
+	if cs == nil {
+		if oldCounts != nil {
+			cs, err = delta.DiffAgainst(oldCounts, newModel, w.Name(), w.EntityLabel())
+		} else {
+			cs, err = delta.Diff(oldModel, newModel, w.Name(), w.EntityLabel())
+		}
+		if err != nil {
+			return fullRebuild("diff failed: " + err.Error())
+		}
+	}
+	rr.Upserted, rr.Deleted, rr.Total = len(cs.Upserted), len(cs.Deleted), cs.Total
+
+	maxFrac := m.opts.MaxDeltaFraction
+	if maxFrac <= 0 {
+		maxFrac = DefaultMaxDeltaFraction
+	}
+	if cs.Fraction() > maxFrac {
+		return fullRebuild(fmt.Sprintf("delta too large (%.0f%% of source changed, limit %.0f%%)",
+			cs.Fraction()*100, maxFrac*100))
+	}
+
+	// Patch the shared snapshot in place — but only if it still describes
+	// the pre-refresh world; patching anything newer would double-apply.
+	m.snap.mu.Lock()
+	if m.snap.fs != nil && m.snap.fp == fpBefore {
+		if !cs.Empty() {
+			if err := m.snap.fs.apply(cs, mp, m.snap.stats); err != nil {
+				// A half-applied snapshot is poison; drop it and rebuild
+				// lazily.
+				m.snap.fs, m.snap.stats = nil, nil
+				m.snap.mu.Unlock()
+				return fullRebuild("snapshot patch failed: " + err.Error())
+			}
+		}
+		m.snap.fp = fpAfter
+		rr.Patched = true
+	}
+	m.snap.mu.Unlock()
+
+	m.deltasApplied.Add(1)
+	m.entitiesPatched.Add(int64(cs.Size()))
+
+	// Concept-scoped invalidation: only results whose computation touched
+	// this source's concept can be stale. Order matters — drop the stale
+	// entries before publishing the new fingerprint, so no query can hit
+	// them once ensureFresh stands down.
+	if !cs.Empty() {
+		n := m.cache.InvalidateTags([]string{mp.Concept})
+		m.selectiveInvalidations.Add(int64(n))
+		rr.Invalidated = n
+	}
+	m.lastFP.CompareAndSwap(fpBefore, fpAfter)
+	rr.Took = time.Since(start)
+	return rr, nil
+}

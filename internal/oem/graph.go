@@ -30,9 +30,14 @@ type Graph struct {
 	// labels is a lazily built per-object label index: case-folded label ->
 	// ref targets in insertion order, complex objects only. It turns the hot
 	// label-traversal step of query evaluation into a map hit instead of an
-	// O(refs) scan with a ToLower allocation per edge. Invalidated by any
-	// mutation, like parents.
-	labels map[OID]map[string][]OID
+	// O(refs) scan with a ToLower allocation per edge. Unlike parents it is
+	// maintained incrementally: a mutation records the touched oid in
+	// labelsDirty, and the next index read repairs only those entries (the
+	// published map is cloned, never edited, so handles stay immutable).
+	// A mutation burst touching more than a quarter of the graph drops
+	// the index instead — a full rebuild is cheaper than patching.
+	labels      map[OID]map[string][]OID
+	labelsDirty map[OID]bool
 
 	// slab is the current object allocation chunk: alloc carves objects out
 	// of it so building a large graph (answer import, fusion) costs one
@@ -114,15 +119,63 @@ func (g *Graph) alloc(kind Kind) *Object {
 	o.ID, o.Kind = g.next, kind
 	g.objects[g.next] = o
 	g.next++
-	g.invalidateIndexes()
+	g.invalidateIndexes(o.ID)
 	return o
 }
 
-// invalidateIndexes drops the lazily built secondary indexes; every mutation
-// must call it (directly or via alloc) before releasing the write lock.
-func (g *Graph) invalidateIndexes() {
+// labelsRebuildSlack: when more than objects/4 (plus this slack) entries
+// are dirty, drop the label index instead of patching it entry by entry.
+const labelsRebuildSlack = 64
+
+// invalidateIndexes notes that the object with the given oid changed
+// shape; every mutation must call it (directly or via alloc) before
+// releasing the write lock. The parents index is dropped wholesale (it is
+// cold); the label index is repaired lazily from the dirty set.
+func (g *Graph) invalidateIndexes(id OID) {
 	g.parents = nil
-	g.labels = nil
+	if g.labels == nil {
+		return
+	}
+	if g.labelsDirty == nil {
+		g.labelsDirty = make(map[OID]bool)
+	}
+	g.labelsDirty[id] = true
+	if len(g.labelsDirty) > len(g.objects)/4+labelsRebuildSlack {
+		g.labels, g.labelsDirty = nil, nil
+	}
+}
+
+// repairLabelsLocked brings the label index up to date with the dirty set
+// by cloning the published top-level map and recomputing only the dirty
+// objects' entries. Handles taken before the repair keep observing the old
+// (immutable) map. g.mu must be held for writing.
+func (g *Graph) repairLabelsLocked() {
+	if g.labels == nil || len(g.labelsDirty) == 0 {
+		return
+	}
+	nl := make(map[OID]map[string][]OID, len(g.labels)+len(g.labelsDirty))
+	for id, m := range g.labels {
+		nl[id] = m
+	}
+	fold := make(map[string]string)
+	for id := range g.labelsDirty {
+		o := g.objects[id]
+		if o == nil || o.Kind != KindComplex || len(o.Refs) == 0 {
+			delete(nl, id)
+			continue
+		}
+		m := make(map[string][]OID, len(o.Refs))
+		for _, r := range o.Refs {
+			f, ok := fold[r.Label]
+			if !ok {
+				f = FoldLabel(r.Label)
+				fold[r.Label] = f
+			}
+			m[f] = append(m[f], r.Target)
+		}
+		nl[id] = m
+	}
+	g.labels, g.labelsDirty = nl, nil
 }
 
 // NewInt creates an integer atom and returns its oid.
@@ -231,7 +284,7 @@ func (g *Graph) AddRef(parent OID, label string, target OID) error {
 		return fmt.Errorf("oem: AddRef: %v is %v, not complex", parent, o.Kind)
 	}
 	o.Refs = append(o.Refs, Ref{Label: label, Target: target})
-	g.invalidateIndexes()
+	g.invalidateIndexes(parent)
 	return nil
 }
 
@@ -249,8 +302,57 @@ func (g *Graph) SetRefs(parent OID, refs []Ref) error {
 		return fmt.Errorf("oem: SetRefs: %v is %v, not complex", parent, o.Kind)
 	}
 	o.Refs = refs
-	g.invalidateIndexes()
+	g.invalidateIndexes(parent)
 	return nil
+}
+
+// RemoveRef deletes the first (label, target) reference from the parent
+// object and reports whether one was removed. Snapshot patching uses it to
+// detach a single stale edge without disturbing siblings under the same
+// label.
+func (g *Graph) RemoveRef(parent OID, label string, target OID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	o := g.objects[parent]
+	if o == nil || o.Kind != KindComplex {
+		return false
+	}
+	for i, r := range o.Refs {
+		if r.Label == label && r.Target == target {
+			o.Refs = append(o.Refs[:i], o.Refs[i+1:]...)
+			g.invalidateIndexes(parent)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveSubtree deletes the object with the given oid and everything
+// reachable from it, returning how many objects were removed. The caller
+// must guarantee that no object outside the subtree references into it —
+// the contract holds for entity subtrees created by separate Import or
+// TranslateEntity calls, which never share structure with one another.
+// In-edges into the subtree root itself must be detached (RemoveRef) first.
+func (g *Graph) RemoveSubtree(id OID) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	removed := 0
+	stack := []OID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		o := g.objects[cur]
+		if o == nil {
+			continue // already removed (shared within the subtree) or absent
+		}
+		delete(g.objects, cur)
+		g.invalidateIndexes(cur)
+		removed++
+		for _, r := range o.Refs {
+			stack = append(stack, r.Target)
+		}
+	}
+	return removed
 }
 
 // RemoveRefs deletes every reference under the given label from the parent
@@ -273,7 +375,7 @@ func (g *Graph) RemoveRefs(parent OID, label string) int {
 	}
 	o.Refs = kept
 	if removed > 0 {
-		g.invalidateIndexes()
+		g.invalidateIndexes(parent)
 	}
 	return removed
 }
@@ -390,31 +492,49 @@ func (ix LabelIndex) Targets(id OID, folded string) []OID { return ix.m[id][fold
 
 // LabelIndex returns a lock-free handle on the label index, or ok=false
 // when none is built. Hot traversal takes the handle once per evaluation
-// (one RLock) instead of locking per edge; on a graph that is still being
-// mutated (per-entity pushdown evaluation over a growing scratch graph) it
-// returns false and the caller falls back to a ref scan — rebuilding the
-// whole index after every mutation would be quadratic in graph size.
+// (one RLock) instead of locking per edge; on a graph that never built an
+// index (per-entity pushdown evaluation over a growing scratch graph) it
+// returns false and the caller falls back to a ref scan — building an
+// index under heavy construction would be quadratic in graph size. An
+// index left stale by mutations (snapshot patching) is repaired first,
+// touching only the dirty entries.
 func (g *Graph) LabelIndex() (LabelIndex, bool) {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
 	if g.labels == nil {
+		g.mu.RUnlock()
 		return LabelIndex{}, false
 	}
-	return LabelIndex{m: g.labels}, true
+	if len(g.labelsDirty) == 0 {
+		ix := LabelIndex{m: g.labels}
+		g.mu.RUnlock()
+		return ix, true
+	}
+	g.mu.RUnlock()
+	g.mu.Lock()
+	g.repairLabelsLocked()
+	ix := LabelIndex{m: g.labels}
+	ok := g.labels != nil
+	g.mu.Unlock()
+	return ix, ok
 }
 
-// EnsureLabelIndex builds the label index if absent. Evaluators call it
-// once before repeated traversal of a settled graph (a fused snapshot, a
-// materialized source model); it is a no-op while the index is live.
+// EnsureLabelIndex builds the label index if absent and repairs it if
+// stale. Evaluators call it once before repeated traversal of a settled
+// graph (a fused snapshot, a materialized source model); it is a no-op
+// while the index is live and clean.
 func (g *Graph) EnsureLabelIndex() {
 	g.mu.RLock()
-	built := g.labels != nil
+	ready := g.labels != nil && len(g.labelsDirty) == 0
 	g.mu.RUnlock()
-	if built {
+	if ready {
 		return
 	}
 	g.mu.Lock()
-	g.buildLabelIndexLocked()
+	if g.labels == nil {
+		g.buildLabelIndexLocked()
+	} else {
+		g.repairLabelsLocked()
+	}
 	g.mu.Unlock()
 }
 
@@ -443,7 +563,7 @@ func (g *Graph) buildLabelIndexLocked() {
 		}
 		idx[id] = m
 	}
-	g.labels = idx
+	g.labels, g.labelsDirty = idx, nil
 }
 
 // Child returns the first child under label, or 0.

@@ -99,6 +99,56 @@ func encodeObject(w *bufio.Writer, g *Graph, label string, id OID, depth int, se
 	}
 }
 
+// CanonicalText renders the subgraph rooted at id in a form that depends
+// only on labels and values: oids are elided and sibling references are
+// sorted by their rendered text. Two subgraphs carrying the same data
+// render identically regardless of oid assignment or reference order, so
+// equality of CanonicalText is set-semantics equality — the right notion
+// for comparing query answers produced by different execution paths (OEM
+// defines a complex object's value as a *set* of references). Shared
+// substructure is expanded at every occurrence; a per-path guard renders a
+// back-edge as "<cycle>".
+func CanonicalText(g *Graph, label string, id OID) string {
+	var sb strings.Builder
+	canonicalObject(&sb, g, label, id, 0, make(map[OID]bool))
+	return sb.String()
+}
+
+func canonicalObject(sb *strings.Builder, g *Graph, label string, id OID, depth int, onPath map[OID]bool) {
+	o := g.Get(id)
+	for i := 0; i < depth; i++ {
+		sb.WriteString(indentUnit)
+	}
+	if o == nil {
+		fmt.Fprintf(sb, "%s <missing>\n", sanitizeLabel(label))
+		return
+	}
+	if onPath[id] {
+		fmt.Fprintf(sb, "%s <cycle>\n", sanitizeLabel(label))
+		return
+	}
+	switch o.Kind {
+	case KindComplex:
+		fmt.Fprintf(sb, "%s complex\n", sanitizeLabel(label))
+		onPath[id] = true
+		children := make([]string, 0, len(o.Refs))
+		for _, r := range o.Refs {
+			var child strings.Builder
+			canonicalObject(&child, g, r.Label, r.Target, depth+1, onPath)
+			children = append(children, child.String())
+		}
+		delete(onPath, id)
+		sort.Strings(children)
+		for _, c := range children {
+			sb.WriteString(c)
+		}
+	case KindGif:
+		fmt.Fprintf(sb, "%s gif %s\n", sanitizeLabel(label), base64.StdEncoding.EncodeToString(o.Raw))
+	default:
+		fmt.Fprintf(sb, "%s %s %s\n", sanitizeLabel(label), o.Kind, o.AtomString())
+	}
+}
+
 func sanitizeLabel(label string) string {
 	if label == "" {
 		return "_"
@@ -236,7 +286,7 @@ func (g *Graph) putRaw(o *Object) {
 	if o.ID >= g.next {
 		g.next = o.ID + 1
 	}
-	g.invalidateIndexes()
+	g.invalidateIndexes(o.ID)
 }
 
 func measureIndent(line string) (depth int, rest string, err error) {
@@ -335,5 +385,5 @@ func (g *Graph) SortRefs(id OID) {
 		}
 		return o.Refs[i].Target < o.Refs[j].Target
 	})
-	g.invalidateIndexes()
+	g.invalidateIndexes(id)
 }

@@ -97,6 +97,10 @@ type entry struct {
 	key     string
 	value   any
 	expires time.Time // zero = never
+	// tags scope the entry for selective invalidation (InvalidateTags).
+	// nil means untagged: the entry survives every selective invalidation
+	// and falls only to full Invalidate, eviction or TTL.
+	tags []string
 }
 
 type call struct {
@@ -108,6 +112,11 @@ type call struct {
 	// result: it was (or is being) computed over a source set that has
 	// since been invalidated. The same stamp fences the store.
 	gen uint64
+	// tags mirror the entry tags the call will store under; InvalidateTags
+	// fences intersecting in-flight calls by setting noStore (guarded by
+	// the shard mutex, like the inflight map itself).
+	tags    []string
+	noStore bool
 }
 
 // New builds a cache bounded at roughly capacity entries total
@@ -173,22 +182,22 @@ func (c *Cache) getLocked(sh *shard, key string) (any, bool) {
 func (c *Cache) Put(key string, value any) {
 	sh := &c.shards[c.shardIndex(key)]
 	sh.mu.Lock()
-	c.putLocked(sh, key, value)
+	c.putLocked(sh, key, value, nil)
 	sh.mu.Unlock()
 }
 
-func (c *Cache) putLocked(sh *shard, key string, value any) {
+func (c *Cache) putLocked(sh *shard, key string, value any, tags []string) {
 	var expires time.Time
 	if c.ttl > 0 {
 		expires = c.now().Add(c.ttl)
 	}
 	if el, ok := sh.entries[key]; ok {
 		e := el.Value.(*entry)
-		e.value, e.expires = value, expires
+		e.value, e.expires, e.tags = value, expires, tags
 		sh.lru.MoveToFront(el)
 		return
 	}
-	sh.entries[key] = sh.lru.PushFront(&entry{key: key, value: value, expires: expires})
+	sh.entries[key] = sh.lru.PushFront(&entry{key: key, value: value, expires: expires, tags: tags})
 	c.entries.Add(1)
 	for sh.lru.Len() > c.perCap {
 		tail := sh.lru.Back()
@@ -204,6 +213,13 @@ func (c *Cache) putLocked(sh *shard, key string, value any) {
 // block and share its result. Errors are not cached — every Do after a
 // failed compute retries.
 func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
+	return c.DoTagged(key, nil, fn)
+}
+
+// DoTagged is Do with invalidation tags: a stored entry carries the tags
+// and is dropped by any InvalidateTags call that intersects them. nil tags
+// produce an untagged entry that only full Invalidate removes.
+func (c *Cache) DoTagged(key string, tags []string, fn func() (any, error)) (any, Outcome, error) {
 	sh := &c.shards[c.shardIndex(key)]
 	sh.mu.Lock()
 	if v, ok := c.getLocked(sh, key); ok {
@@ -222,7 +238,7 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 	// generation, replacing the stale inflight entry. Waiters already
 	// joined to the stale call keep it (they joined before the
 	// invalidation); later callers join this one.
-	cl := &call{gen: c.gen.Load()}
+	cl := &call{gen: c.gen.Load(), tags: tags}
 	cl.wg.Add(1)
 	sh.inflight[key] = cl
 	sh.mu.Unlock()
@@ -237,10 +253,11 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 		if sh.inflight[key] == cl {
 			delete(sh.inflight, key)
 		}
-		// Store only when no Invalidate raced with the compute: a result
-		// built over the old source set must not outlive it.
-		if cl.err == nil && c.gen.Load() == cl.gen {
-			c.putLocked(sh, key, cl.val)
+		// Store only when neither a full Invalidate nor a tag-intersecting
+		// InvalidateTags raced with the compute: a result built over the
+		// old source set must not outlive it.
+		if cl.err == nil && c.gen.Load() == cl.gen && !cl.noStore {
+			c.putLocked(sh, key, cl.val, cl.tags)
 		}
 		sh.mu.Unlock()
 		cl.wg.Done()
@@ -254,6 +271,63 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 // panicked: cl.err is pre-set before fn runs and only overwritten on normal
 // return, so waiters fail cleanly instead of sharing a half-built value.
 var errPanicked = errors.New("qcache: compute panicked")
+
+// InvalidateTags drops every stored entry whose tag set intersects tags
+// and fences intersecting in-flight computations (their results complete
+// for waiters already joined but are not stored). The wildcard tag "*" —
+// on either side — intersects everything, so an entry tagged "*" falls to
+// any selective invalidation and InvalidateTags([]string{"*"}) drops every
+// tagged entry. Untagged entries always survive. It returns the number of
+// stored entries dropped.
+func (c *Cache) InvalidateTags(tags []string) int {
+	if len(tags) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(tags))
+	wild := false
+	for _, t := range tags {
+		if t == "*" {
+			wild = true
+		}
+		set[t] = true
+	}
+	dropped := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, el := range sh.entries {
+			if !tagsIntersect(el.Value.(*entry).tags, set, wild) {
+				continue
+			}
+			sh.lru.Remove(el)
+			delete(sh.entries, key)
+			dropped++
+			c.entries.Add(-1)
+		}
+		for key, cl := range sh.inflight {
+			if tagsIntersect(cl.tags, set, wild) {
+				// Fence the call and unhook it so later callers recompute;
+				// waiters already joined keep its (now doomed) result, the
+				// same contract full Invalidate gives them.
+				cl.noStore = true
+				delete(sh.inflight, key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// tagsIntersect reports whether the entry tags intersect the invalidation
+// set (which is wild when it contains "*"). Nil entry tags never intersect.
+func tagsIntersect(entryTags []string, set map[string]bool, wild bool) bool {
+	for _, t := range entryTags {
+		if wild || t == "*" || set[t] {
+			return true
+		}
+	}
+	return false
+}
 
 // Invalidate drops every cached entry and fences in-flight computations so
 // their results are discarded rather than stored.

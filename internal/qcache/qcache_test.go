@@ -422,3 +422,92 @@ func TestConcurrentMixedUse(t *testing.T) {
 	wg.Wait()
 	c.Counters() // must not race
 }
+
+// --- tag-scoped invalidation -------------------------------------------------
+
+func TestInvalidateTagsSelective(t *testing.T) {
+	c := New(64, 0)
+	mustDo := func(key string, tags []string, v any) {
+		t.Helper()
+		if _, _, err := c.DoTagged(key, tags, func() (any, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDo("gene-q", []string{"Gene"}, 1)
+	mustDo("anno-q", []string{"Annotation"}, 2)
+	mustDo("both-q", []string{"Gene", "Annotation"}, 3)
+	mustDo("wild-q", []string{"*"}, 4)
+	mustDo("plan", nil, 5)
+
+	dropped := c.InvalidateTags([]string{"Annotation"})
+	if dropped != 3 {
+		t.Fatalf("dropped %d entries, want 3 (anno-q, both-q, wild-q)", dropped)
+	}
+	if _, ok := c.Get("gene-q"); !ok {
+		t.Error("Gene-tagged entry dropped by an Annotation invalidation")
+	}
+	if _, ok := c.Get("plan"); !ok {
+		t.Error("untagged entry dropped by a selective invalidation")
+	}
+	for _, key := range []string{"anno-q", "both-q", "wild-q"} {
+		if _, ok := c.Get(key); ok {
+			t.Errorf("%s survived an intersecting invalidation", key)
+		}
+	}
+	// Wildcard invalidation drops every tagged entry, not the untagged one.
+	mustDo("gene-q2", []string{"Gene"}, 6)
+	if dropped := c.InvalidateTags([]string{"*"}); dropped != 2 {
+		t.Fatalf("wildcard dropped %d, want 2 (gene-q and gene-q2)", dropped)
+	}
+	if _, ok := c.Get("plan"); !ok {
+		t.Error("untagged entry dropped by wildcard invalidation")
+	}
+}
+
+func TestInvalidateTagsEmptyIsNoop(t *testing.T) {
+	c := New(16, 0)
+	c.Put("k", 1)
+	if n := c.InvalidateTags(nil); n != 0 {
+		t.Fatalf("nil tags dropped %d entries", n)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry lost to a no-op invalidation")
+	}
+}
+
+// TestInvalidateTagsFencesInflight: a compute in flight when an
+// intersecting InvalidateTags lands must not store its result; a
+// non-intersecting compute must store normally.
+func TestInvalidateTagsFencesInflight(t *testing.T) {
+	c := New(64, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := c.DoTagged("slow", []string{"Gene"}, func() (any, error) {
+			close(started)
+			<-release
+			return "stale", nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	if n := c.InvalidateTags([]string{"Gene"}); n != 0 {
+		t.Fatalf("dropped %d stored entries, want 0 (only an in-flight call)", n)
+	}
+	close(release)
+	<-done
+	if _, ok := c.Get("slow"); ok {
+		t.Fatal("fenced in-flight compute stored its result")
+	}
+	// A fresh compute after the fence stores fine.
+	if _, out, err := c.DoTagged("slow", []string{"Gene"}, func() (any, error) { return "fresh", nil }); err != nil || out != Miss {
+		t.Fatalf("recompute: outcome=%v err=%v", out, err)
+	}
+	if v, ok := c.Get("slow"); !ok || v != "fresh" {
+		t.Fatalf("post-fence compute not stored: %v %v", v, ok)
+	}
+}

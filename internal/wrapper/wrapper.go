@@ -178,6 +178,20 @@ func (c *cachedModel) version() uint64 { return c.ver.Load() }
 type Registry struct {
 	mu       sync.RWMutex
 	wrappers []Wrapper
+
+	// schemaMu guards the inferred-schema cache. Schema inference scans
+	// every entity of a model, so repeated Schemas() calls (statsz,
+	// analyze endpoints) memoize per wrapper, keyed by the model version
+	// the inference ran against.
+	schemaMu sync.Mutex
+	schemas  map[string]cachedSchema
+}
+
+// cachedSchema is one memoized inference result; stale the moment the
+// wrapper's version moves.
+type cachedSchema struct {
+	version uint64
+	schema  Schema
 }
 
 // NewRegistry returns an empty registry.
@@ -203,6 +217,11 @@ func (r *Registry) Remove(name string) bool {
 	for i, w := range r.wrappers {
 		if w.Name() == name {
 			r.wrappers = append(r.wrappers[:i], r.wrappers[i+1:]...)
+			// Drop the memoized schema: a different wrapper re-added under
+			// this name must never inherit it (versions restart at zero).
+			r.schemaMu.Lock()
+			delete(r.schemas, name)
+			r.schemaMu.Unlock()
 			return true
 		}
 	}
@@ -239,18 +258,40 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// Schemas infers the schema of every registered wrapper.
+// Schemas infers the schema of every registered wrapper. Results are
+// memoized per wrapper, keyed by Version(), so repeated calls cost map
+// lookups until a source refreshes; callers must treat the returned
+// Schema values (and their Labels slices) as read-only.
 func (r *Registry) Schemas() ([]Schema, error) {
 	var out []Schema
 	for _, w := range r.All() {
+		ver := w.Version()
+		name := w.Name()
+		r.schemaMu.Lock()
+		cs, ok := r.schemas[name]
+		r.schemaMu.Unlock()
+		if ok && cs.version == ver {
+			out = append(out, cs.schema)
+			continue
+		}
 		g, err := w.Model()
 		if err != nil {
-			return nil, fmt.Errorf("wrapper: %s: %v", w.Name(), err)
+			return nil, fmt.Errorf("wrapper: %s: %v", name, err)
 		}
-		s, err := InferSchema(g, w.Name(), w.EntityLabel())
+		s, err := InferSchema(g, name, w.EntityLabel())
 		if err != nil {
 			return nil, err
 		}
+		// Stamp with the version read before Model(): if a Refresh raced
+		// in between, the stamp mismatches the new version and the next
+		// call re-infers — stale-forever is impossible, stale-now is not
+		// cached.
+		r.schemaMu.Lock()
+		if r.schemas == nil {
+			r.schemas = map[string]cachedSchema{}
+		}
+		r.schemas[name] = cachedSchema{version: ver, schema: s}
+		r.schemaMu.Unlock()
 		out = append(out, s)
 	}
 	return out, nil

@@ -312,3 +312,67 @@ func TestEntityString(t *testing.T) {
 		t.Error("missing object handling")
 	}
 }
+
+// countingWrapper counts Model() calls so the schema cache's effect is
+// observable.
+type countingWrapper struct {
+	Wrapper
+	modelCalls int
+}
+
+func (c *countingWrapper) Model() (*oem.Graph, error) {
+	c.modelCalls++
+	return c.Wrapper.Model()
+}
+
+// TestSchemasCachedPerVersion: repeated Schemas() calls must not re-infer
+// (or even re-fetch the model) until the wrapper's version moves.
+func TestSchemasCachedPerVersion(t *testing.T) {
+	c := datagen.Generate(datagen.Config{Seed: 7, Genes: 30, GoTerms: 20, Diseases: 10})
+	ll, err := locuslink.Load(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := &countingWrapper{Wrapper: NewLocusLink(ll)}
+	reg := NewRegistry()
+	if err := reg.Add(cw); err != nil {
+		t.Fatal(err)
+	}
+	first, err := reg.Schemas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.modelCalls != 1 {
+		t.Fatalf("first Schemas: %d model fetches, want 1", cw.modelCalls)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := reg.Schemas()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != 1 || again[0].Source != first[0].Source || len(again[0].Labels) != len(first[0].Labels) {
+			t.Fatal("cached schema differs from the inferred one")
+		}
+	}
+	if cw.modelCalls != 1 {
+		t.Fatalf("warm Schemas re-fetched the model: %d calls, want 1", cw.modelCalls)
+	}
+	// A refresh bumps the version; the next Schemas must re-infer.
+	cw.Refresh()
+	if _, err := reg.Schemas(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.modelCalls != 2 {
+		t.Fatalf("post-refresh Schemas served stale cache: %d model calls, want 2", cw.modelCalls)
+	}
+	// Removing the source drops its cache entry.
+	if !reg.Remove(cw.Name()) {
+		t.Fatal("Remove failed")
+	}
+	reg.schemaMu.Lock()
+	_, still := reg.schemas[cw.Name()]
+	reg.schemaMu.Unlock()
+	if still {
+		t.Error("removed wrapper's schema still cached")
+	}
+}
