@@ -32,9 +32,12 @@ bench:
 
 # bench-smoke compiles and runs every benchmark in the tree exactly once so
 # CI catches benchmarks that no longer build or crash — they must not rot
-# silently between careful runs.
+# silently between careful runs. The second pass re-runs the E16
+# concurrent-throughput/batch benches under GOMAXPROCS=8 so the lock-free
+# epoch read path sees real goroutine concurrency even on small CI runners.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench='E16_Concurrent|E16_QueriesUnderRefreshChurn|E16_AskBatch' -benchtime=1x -cpu 8 .
 
 serve:
 	$(GO) run ./cmd/annoda-server

@@ -7,6 +7,8 @@ package main_test
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/capability"
@@ -639,6 +641,250 @@ func BenchmarkE15_DeltaRefresh1k(b *testing.B)  { benchmarkE15(b, 1000, true) }
 func BenchmarkE15_FullRefresh1k(b *testing.B)   { benchmarkE15(b, 1000, false) }
 func BenchmarkE15_DeltaRefresh10k(b *testing.B) { benchmarkE15(b, 10000, true) }
 func BenchmarkE15_FullRefresh10k(b *testing.B)  { benchmarkE15(b, 10000, false) }
+
+// --- E16: lock-free snapshot epochs + parallel fusion + batch eval ----------
+
+// e16Distinct generates the i-th of 1024 distinct snapshot-safe questions
+// in the THEA profile: a selective symbol extraction plus bit-selected
+// structural conjuncts, so evaluation is traversal-bound rather than
+// answer-construction-bound.
+func e16Distinct(i int) string {
+	opts := [...]string{
+		" and exists G.Annotation",
+		" and exists G.Annotation.GoID",
+		" and exists G.Annotation.Evidence",
+		" and exists G.Annotation.Term",
+		" and exists G.Annotation.Organism",
+		" and exists G.Links",
+		" and exists G.Links.GO",
+		" and exists G.Links.OMIM",
+		" and not exists G.Disease",
+		" and not exists G.Disease.MimNumber",
+	}
+	var sb strings.Builder
+	sb.WriteString(`select G.Symbol from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`)
+	for bit := 0; bit < len(opts); bit++ {
+		if i&(1<<bit) != 0 {
+			sb.WriteString(opts[bit])
+		}
+	}
+	return sb.String()
+}
+
+// e16Queries returns n distinct snapshot-safe questions.
+func e16Queries(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = e16Distinct(i % 1024)
+	}
+	return out
+}
+
+// benchmarkE16ConcurrentEval isolates the snapshot read path: many
+// goroutines evaluate compiled selective plans (traversal-heavy,
+// one-gene answers, so graph reads dominate answer construction) against
+// the shared fused graph. The epoch variant reads the frozen snapshot —
+// no lock held, one atomic flag load per object access. The baseline
+// variant reproduces the retired design: an unfrozen graph whose every
+// Get takes the graph RWMutex, plus the shared snapshot read lock held
+// across eval.
+func benchmarkE16ConcurrentEval(b *testing.B, rwmutexBaseline bool) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{DisableCache: rwmutexBaseline})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _, err := sys.Manager.FusedGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := make([]*lorel.Plan, 0, 256)
+	for i := 0; i < 256; i++ {
+		sym := sys.Corpus.Genes[i%len(sys.Corpus.Genes)].Symbol
+		src := `select G.Symbol from ANNODA-GML.Gene G where G.Symbol = "` + sym +
+			`" and exists G.Annotation`
+		p, err := lorel.Compile(lorel.MustParse(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	g.EnsureLabelIndex()
+	var snapMu sync.RWMutex
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(n.Add(1)) % len(plans)
+			if rwmutexBaseline {
+				snapMu.RLock()
+			}
+			_, err := plans[i].Eval(g)
+			if rwmutexBaseline {
+				snapMu.RUnlock()
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE16_ConcurrentEvalEpoch(b *testing.B) { benchmarkE16ConcurrentEval(b, false) }
+func BenchmarkE16_ConcurrentEvalRWMutexBaseline(b *testing.B) {
+	benchmarkE16ConcurrentEval(b, true)
+}
+
+// BenchmarkE16_ConcurrentDistinctQuestions: the end-to-end manager path
+// under concurrent distinct questions with a deliberately tiny result
+// cache, so nearly every request runs the lock-free epoch eval instead of
+// being a cache hit.
+func BenchmarkE16_ConcurrentDistinctQuestions(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sys.Query(e16Distinct(0)); err != nil { // warm the epoch
+		b.Fatal(err)
+	}
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(n.Add(1))
+			if _, _, err := sys.Query(e16Distinct(i % 1024)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE16_QueriesUnderRefreshChurn: distinct snapshot questions while
+// a background goroutine continuously edits LocusLink and publishes
+// patched epochs. Under the retired RWMutex design every patch stalled
+// every reader; with epochs the readers never block — compare ns/op
+// against BenchmarkE16_ConcurrentDistinctQuestions (the churn-free
+// variant).
+func BenchmarkE16_QueriesUnderRefreshChurn(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sys.Query(e16Distinct(0)); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		r := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r++
+			id := sys.Corpus.Genes[r%len(sys.Corpus.Genes)].LocusID
+			rev := fmt.Sprintf("churn %d", r)
+			if err := sys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := sys.Manager.RefreshSource("LocusLink"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(n.Add(1))
+			if _, _, err := sys.Query(e16Distinct(i % 1024)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-churnDone
+}
+
+// BenchmarkE16_AskBatch64: 64 distinct questions per iteration through the
+// batch API — one pinned epoch, concurrent eval.
+func BenchmarkE16_AskBatch64(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 16, Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := e16Queries(64)
+	if _, _, err := sys.QueryBatch(queries[:1]); err != nil { // warm the epoch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answers, _, err := sys.QueryBatch(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range answers {
+			if a.Err != nil {
+				b.Fatal(a.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkE16_SequentialAsks64: the same 64 questions answered one at a
+// time — what a THEA-style analysis paid before the batch API.
+func BenchmarkE16_SequentialAsks64(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := e16Queries(64)
+	if _, _, err := sys.Query(queries[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, _, err := sys.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchmarkE16ColdFuse builds the recorded fused snapshot from scratch
+// each iteration — the cold-start and MaxDeltaFraction-fallback cost the
+// parallel sharded fusion exists to cut.
+func benchmarkE16ColdFuse(b *testing.B, genes int, sequentialFuse bool) {
+	sys := benchSystem(b, genes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Workers is pinned so the parallel variant shards even when the
+		// benchmark host caps GOMAXPROCS below the fan-out.
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{SequentialFuse: sequentialFuse, Workers: 8})
+		g, _, err := m.FusedGraph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Len() == 0 {
+			b.Fatal("empty fused graph")
+		}
+	}
+}
+
+func BenchmarkE16_ColdFuse10kSequential(b *testing.B) { benchmarkE16ColdFuse(b, 10000, true) }
+func BenchmarkE16_ColdFuse10kParallel(b *testing.B)   { benchmarkE16ColdFuse(b, 10000, false) }
 
 // runLorel evaluates a Lorel query on a graph and returns the answer size.
 func runLorel(g *oem.Graph, src string) (int, string, error) {

@@ -1,7 +1,7 @@
 // Command annoda-bench regenerates every table and figure of the ANNODA
 // paper (and the quantitative experiments attached to them) from the live
 // implementations in this repository. Run with no flags for everything, or
-// -exp E5 for one experiment (E1..E15). See EXPERIMENTS.md for the index.
+// -exp E5 for one experiment (E1..E16). See EXPERIMENTS.md for the index.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E16) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	flag.Parse()
@@ -46,10 +46,10 @@ func main() {
 	runners := map[string]func(*datagen.Corpus, *core.System){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
-		"E13": e13, "E14": e14, "E15": e15,
+		"E13": e13, "E14": e14, "E15": e15, "E16": e16,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -657,4 +657,164 @@ func e12(c *datagen.Corpus, sys *core.System) {
 			float64(len(symbols))/el.Seconds(), okCount)
 	}
 	sort.Strings(symbols) // keep deterministic footprint for repeated runs
+}
+
+// E16 — lock-free snapshot epochs, parallel sharded fusion, batch eval.
+// Three measurements: (1) concurrent distinct snapshot questions with and
+// without continuous refresh churn — under the retired RWMutex design
+// every patch stalled every reader, with epochs readers never block;
+// (2) a 64-question batch through AskBatch (one pinned epoch, concurrent
+// eval) vs the same questions asked one at a time; (3) a cold recorded
+// fusion, sequential vs gene-key-sharded parallel.
+func e16(c *datagen.Corpus, sys *core.System) {
+	const goroutines = 8
+	const perG = 40
+	distinct := func(i int) string {
+		opts := [...]string{
+			" and exists G.Annotation", " and exists G.Annotation.GoID",
+			" and exists G.Annotation.Evidence", " and exists G.Links",
+			" and exists G.Links.GO", " and not exists G.Disease.MimNumber",
+		}
+		q := `select G.Symbol from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+		for bit := 0; bit < len(opts); bit++ {
+			if i&(1<<bit) != 0 {
+				q += opts[bit]
+			}
+		}
+		return q
+	}
+	mkSys := func() *core.System {
+		s, err := core.New(c, mediator.Options{CacheSize: 16, Workers: goroutines})
+		if err != nil {
+			fatal(err)
+		}
+		return s
+	}
+
+	// (1) Concurrent distinct questions, churn-free then under refresh churn.
+	concurrentRun := func(s *core.System, churn bool) time.Duration {
+		if _, _, err := s.Query(distinct(0)); err != nil {
+			fatal(err)
+		}
+		stop := make(chan struct{})
+		var churnWG sync.WaitGroup
+		refreshes := 0
+		if churn {
+			churnWG.Add(1)
+			go func() {
+				defer churnWG.Done()
+				r := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					r++
+					id := s.Corpus.Genes[r%len(s.Corpus.Genes)].LocusID
+					rev := fmt.Sprintf("churn %d", r)
+					if err := s.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+						fatal(err)
+					}
+					if _, err := s.Manager.RefreshSource("LocusLink"); err != nil {
+						fatal(err)
+					}
+					refreshes++
+				}
+			}()
+		}
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for gID := 0; gID < goroutines; gID++ {
+			wg.Add(1)
+			go func(gID int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					if _, _, err := s.Query(distinct((gID*perG + i) % 64)); err != nil {
+						fatal(err)
+					}
+				}
+			}(gID)
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		close(stop)
+		churnWG.Wait()
+		if churn {
+			fmt.Printf("  (refreshes absorbed during the run: %d)\n", refreshes)
+		}
+		return el
+	}
+	total := goroutines * perG
+	fmt.Printf("concurrent distinct questions, %d goroutines x %d questions:\n", goroutines, perG)
+	quiet := concurrentRun(mkSys(), false)
+	fmt.Printf("  %-26s %v total, %v/question (%.0f q/s)\n", "epochs, quiescent sources",
+		quiet.Round(time.Millisecond), (quiet / time.Duration(total)).Round(time.Microsecond),
+		float64(total)/quiet.Seconds())
+	churned := concurrentRun(mkSys(), true)
+	fmt.Printf("  %-26s %v total, %v/question (%.0f q/s)\n", "epochs, refresh churn",
+		churned.Round(time.Millisecond), (churned / time.Duration(total)).Round(time.Microsecond),
+		float64(total)/churned.Seconds())
+
+	// (2) Batch vs one-at-a-time.
+	batchQ := make([]string, 64)
+	for i := range batchQ {
+		batchQ[i] = distinct(i % 64)
+	}
+	bs := mkSys()
+	if _, _, err := bs.Query(batchQ[0]); err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	answers, stats, err := bs.QueryBatch(batchQ)
+	if err != nil {
+		fatal(err)
+	}
+	batchTime := time.Since(t0)
+	for _, a := range answers {
+		if a.Err != nil {
+			fatal(a.Err)
+		}
+	}
+	ss := mkSys()
+	if _, _, err := ss.Query(batchQ[0]); err != nil {
+		fatal(err)
+	}
+	t1 := time.Now()
+	for _, q := range batchQ {
+		if _, _, err := ss.Query(q); err != nil {
+			fatal(err)
+		}
+	}
+	seqTime := time.Since(t1)
+	fmt.Printf("\n%d-question batch (one pinned epoch):\n", len(batchQ))
+	fmt.Printf("  %-26s %v total, %v/question\n", "AskBatch (concurrent)",
+		batchTime.Round(time.Millisecond), (batchTime / time.Duration(len(batchQ))).Round(time.Microsecond))
+	fmt.Printf("  %-26s %v total, %v/question\n", "one Query at a time",
+		seqTime.Round(time.Millisecond), (seqTime / time.Duration(len(batchQ))).Round(time.Microsecond))
+	fmt.Printf("  aggregate stats: %s", indent(stats.String()))
+
+	// (3) Cold recorded fusion, sequential vs sharded parallel.
+	fuseOnce := func(sequential bool) time.Duration {
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{SequentialFuse: sequential, Workers: goroutines})
+		t := time.Now()
+		if _, _, err := m.FusedGraph(); err != nil {
+			fatal(err)
+		}
+		return time.Since(t)
+	}
+	fmt.Printf("\ncold recorded fusion at %d genes:\n", len(c.Genes))
+	seqFuse := fuseOnce(true)
+	parFuse := fuseOnce(false)
+	fmt.Printf("  %-26s %v\n", "sequential", seqFuse.Round(time.Millisecond))
+	fmt.Printf("  %-26s %v (%d shards)\n", "parallel (gene-key shards)", parFuse.Round(time.Millisecond), goroutines)
+	if parFuse > 0 {
+		fmt.Printf("  speedup (seq/par): %.2fx\n", float64(seqFuse)/float64(parFuse))
+	}
+	dc := bs.Manager.DeltaCounters()
+	fmt.Printf("\nepoch counters (batch system): published=%d pins=%d\n", dc.EpochsPublished, dc.EpochPins)
+}
+
+func indent(s string) string {
+	return strings.ReplaceAll(s, "\n", "\n    ")
 }

@@ -6,6 +6,8 @@
 //	/object?url= the individual object view (Figure 5(c))
 //	/api/ask     the integrated view as JSON (POST body or form params)
 //	/api/query   raw Lorel queries as JSON
+//	/api/batch   many Lorel queries evaluated concurrently against one
+//	             pinned snapshot epoch (POST {"queries": [...]})
 //	/api/object  the object view as JSON
 //	/api/refresh POST {"source": ...}: refresh one source via the delta
 //	             subsystem (or "warehouse" for the GUS-style ETL)
@@ -15,6 +17,11 @@
 // Every request runs under a timeout and panic recovery; repeated questions
 // are answered from the mediator's sharded result cache (disable with
 // -nocache). The server drains in-flight requests on SIGINT/SIGTERM.
+//
+// -pprof ADDR serves net/http/pprof on a separate mux at ADDR (e.g.
+// "localhost:6060") so lock-contention and CPU claims about the serving
+// path are profileable in production without exposing the profiler on the
+// public listener. Off by default.
 //
 // Start it and open http://localhost:8077/ — submitting the default form
 // reproduces the paper's running example.
@@ -28,8 +35,10 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -57,7 +66,21 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "result cache capacity in entries (0 = default)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry)")
 	noCache := flag.Bool("nocache", false, "disable the result cache")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Contention profiles sample nothing until their rates are set;
+		// without these the mutex/block endpoints would always be empty.
+		runtime.SetMutexProfileFraction(100) // sample 1% of contended mutex events
+		runtime.SetBlockProfileRate(int(time.Millisecond))
+		go func() {
+			log.Printf("pprof listening on %s (mutex/block profiling via /debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	cfg := datagen.DefaultConfig()
 	cfg.Genes = *genes
@@ -105,6 +128,19 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 	}
+}
+
+// pprofMux builds the profiler handler tree on its own mux: the handlers
+// are registered explicitly instead of importing net/http/pprof for its
+// DefaultServeMux side effect, so the main listener never exposes them.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func (s *server) render(w http.ResponseWriter, body template.HTML) {

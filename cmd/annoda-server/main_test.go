@@ -597,3 +597,98 @@ func TestStatszDeltaAndWarehouse(t *testing.T) {
 		t.Errorf("warehouse block = %+v", resp.Warehouse)
 	}
 }
+
+func TestAPIBatch(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	// The test system includes ProtDB, so a snapshot-safe question must
+	// touch the Protein concept too (a pruned source disqualifies the
+	// snapshot); the trailing "not exists G.Protein.Bogus" conjunct is
+	// vacuously true and only keeps Protein un-pruned.
+	safeQ := "select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease and not exists G.Protein.Bogus"
+	body := `{"queries": [
+		"` + safeQ + `",
+		"select totally bogus",
+		"select G.Symbol from ANNODA-GML.Gene G, G.Annotation A where exists G.Annotation and not exists G.Disease and not exists G.Protein.Bogus"
+	]}`
+	rec := postJSON(t, h, "/api/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/batch = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Questions int `json:"questions"`
+		Failed    int `json:"failed"`
+		Answers   []struct {
+			Query        string `json:"query"`
+			Answers      int    `json:"answers"`
+			Error        string `json:"error"`
+			SnapshotUsed bool   `json:"snapshot_used"`
+		} `json:"answers"`
+		Stats struct {
+			BatchQuestions int `json:"batch_questions"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Questions != 3 || len(resp.Answers) != 3 {
+		t.Fatalf("questions = %d, answers = %d, want 3/3", resp.Questions, len(resp.Answers))
+	}
+	if resp.Failed != 1 || resp.Answers[1].Error == "" {
+		t.Errorf("malformed query not isolated: failed=%d err=%q", resp.Failed, resp.Answers[1].Error)
+	}
+	if resp.Answers[0].Answers == 0 || resp.Answers[2].Answers == 0 {
+		t.Error("well-formed batch questions returned no answers")
+	}
+	if !resp.Answers[0].SnapshotUsed || !resp.Answers[2].SnapshotUsed {
+		t.Error("snapshot-safe batch questions missed the pinned-epoch path")
+	}
+	if resp.Stats.BatchQuestions != 3 {
+		t.Errorf("stats.batch_questions = %d, want 3", resp.Stats.BatchQuestions)
+	}
+
+	// Validation and method gating.
+	if rec := postJSON(t, h, "/api/batch", `{"queries": []}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch = %d, want 400", rec.Code)
+	}
+	var many []string
+	for i := 0; i <= maxBatchQueries; i++ {
+		many = append(many, fmt.Sprintf("select G from ANNODA-GML.Gene G -- %d", i))
+	}
+	over, _ := json.Marshal(map[string][]string{"queries": many})
+	if rec := postJSON(t, h, "/api/batch", string(over)); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/api/batch"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/batch = %d, want 405", rec.Code)
+	}
+}
+
+func TestStatszEpochCounters(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	// At least one snapshot query so an epoch exists.
+	postJSON(t, h, "/api/batch",
+		`{"queries": ["select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease and not exists G.Protein.Bogus"]}`)
+	rec := get(t, h, "/statsz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/statsz = %d", rec.Code)
+	}
+	var resp struct {
+		Epoch struct {
+			Published int64 `json:"published"`
+			Pins      int64 `json:"pins"`
+		} `json:"epoch"`
+		Delta struct {
+			EpochsPublished int64 `json:"epochs_published"`
+			EpochPins       int64 `json:"epoch_pins"`
+		} `json:"delta"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch.Published == 0 || resp.Epoch.Pins == 0 {
+		t.Errorf("epoch counters not surfaced: %+v", resp.Epoch)
+	}
+	if resp.Delta.EpochsPublished != resp.Epoch.Published || resp.Delta.EpochPins != resp.Epoch.Pins {
+		t.Errorf("delta epoch counters diverge from epoch block: %+v vs %+v", resp.Delta, resp.Epoch)
+	}
+}

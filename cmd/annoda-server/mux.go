@@ -44,6 +44,7 @@ func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) ht
 	// JSON API.
 	mux.HandleFunc("/api/ask", s.apiAsk)
 	mux.HandleFunc("/api/query", s.apiQuery)
+	mux.HandleFunc("/api/batch", s.apiBatch)
 	mux.HandleFunc("/api/object", s.apiObject)
 	mux.HandleFunc("/api/refresh", s.apiRefresh)
 	// Operational endpoints.
@@ -166,6 +167,7 @@ type statsJSON struct {
 	PushdownFB     int        `json:"pushdown_fallbacks,omitempty"`
 	Parallel       bool       `json:"parallel"`
 	SnapshotUsed   bool       `json:"snapshot_used,omitempty"`
+	BatchQuestions int        `json:"batch_questions,omitempty"`
 	FetchMicros    int64      `json:"fetch_micros"`
 	FuseMicros     int64      `json:"fuse_micros"`
 	EvalMicros     int64      `json:"eval_micros"`
@@ -201,6 +203,7 @@ func mediatorStats(st *mediator.Stats) statsJSON {
 		PushdownFB:     st.PushdownFallbacks,
 		Parallel:       st.Parallel,
 		SnapshotUsed:   st.SnapshotUsed,
+		BatchQuestions: st.BatchQuestions,
 		FetchMicros:    st.FetchTime.Microseconds(),
 		FuseMicros:     st.FuseTime.Microseconds(),
 		EvalMicros:     st.EvalTime.Microseconds(),
@@ -319,6 +322,80 @@ func (s *server) apiQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxBatchQueries bounds one /api/batch request: enough for THEA-style
+// analysis sweeps, small enough that one request cannot monopolize the
+// worker pool.
+const maxBatchQueries = 256
+
+type batchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+type batchAnswerJSON struct {
+	Query        string `json:"query"`
+	Answers      int    `json:"answers"`
+	Text         string `json:"text,omitempty"`
+	Error        string `json:"error,omitempty"`
+	EvalMicros   int64  `json:"eval_micros,omitempty"`
+	SnapshotUsed bool   `json:"snapshot_used,omitempty"`
+}
+
+type batchResponse struct {
+	Questions int               `json:"questions"`
+	Failed    int               `json:"failed"`
+	Answers   []batchAnswerJSON `json:"answers"`
+	Stats     statsJSON         `json:"stats"`
+}
+
+// apiBatch evaluates many Lorel queries as one batch: POST {"queries":
+// [...]}. All snapshot-safe questions are answered concurrently against a
+// single pinned snapshot epoch, so the whole batch sees one consistent
+// annotation world; a malformed question fails only its own answer.
+func (s *server) apiBatch(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		jsonError(w, http.StatusBadRequest, "missing queries (POST {\"queries\": [...]})")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		jsonError(w, http.StatusBadRequest, "batch too large: %d queries (limit %d)", len(req.Queries), maxBatchQueries)
+		return
+	}
+	answers, stats, err := s.sys.QueryBatch(req.Queries)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := batchResponse{
+		Questions: len(answers),
+		Answers:   make([]batchAnswerJSON, 0, len(answers)),
+		Stats:     mediatorStats(stats),
+	}
+	for _, a := range answers {
+		aj := batchAnswerJSON{Query: a.Query}
+		if a.Err != nil {
+			aj.Error = a.Err.Error()
+			resp.Failed++
+		} else {
+			aj.Answers = a.Result.Size()
+			aj.Text = oem.TextString(a.Result.Graph, "answer", a.Result.Answer)
+			aj.EvalMicros = a.Stats.EvalTime.Microseconds()
+			aj.SnapshotUsed = a.Stats.SnapshotUsed
+		}
+		resp.Answers = append(resp.Answers, aj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type objectResponse struct {
 	URL  string `json:"url"`
 	Text string `json:"text"`
@@ -368,6 +445,8 @@ type deltaJSON struct {
 	EntitiesPatched int64 `json:"entities_patched"`
 	FullRebuilds    int64 `json:"full_rebuilds"`
 	SelectiveInval  int64 `json:"selective_invalidations"`
+	EpochsPublished int64 `json:"epochs_published"`
+	EpochPins       int64 `json:"epoch_pins"`
 }
 
 type whJSON struct {
@@ -381,6 +460,8 @@ func deltaCountersJSON(dc mediator.DeltaCounters) deltaJSON {
 		EntitiesPatched: dc.EntitiesPatched,
 		FullRebuilds:    dc.FullRebuilds,
 		SelectiveInval:  dc.SelectiveInvalidations,
+		EpochsPublished: dc.EpochsPublished,
+		EpochPins:       dc.EpochPins,
 	}
 }
 
@@ -493,7 +574,9 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp["snapshot"] = nil
 	}
-	resp["delta"] = deltaCountersJSON(s.sys.Manager.DeltaCounters())
+	dc := s.sys.Manager.DeltaCounters()
+	resp["epoch"] = map[string]int64{"published": dc.EpochsPublished, "pins": dc.EpochPins}
+	resp["delta"] = deltaCountersJSON(dc)
 	if s.wh != nil {
 		resp["warehouse"] = whJSON{Loads: s.wh.Loads(), Archives: s.wh.Archives()}
 	} else {

@@ -108,6 +108,14 @@ func (s *System) Query(src string) (*lorel.Result, *mediator.Stats, error) {
 	return s.Manager.QueryString(src)
 }
 
+// QueryBatch runs many Lorel queries as one batch: all snapshot-safe
+// questions evaluate concurrently against a single pinned epoch, so every
+// answer describes the same consistent annotation world (the THEA-style
+// many-questions workload).
+func (s *System) QueryBatch(queries []string) ([]mediator.BatchAnswer, *mediator.Stats, error) {
+	return s.Manager.AskBatch(queries)
+}
+
 // ---------------------------------------------------------------------------
 // The biological-question interface (Figure 5(a)).
 // ---------------------------------------------------------------------------
@@ -341,9 +349,9 @@ func (s *System) AnnotateBatch(symbols []string, workers int) ([]BatchResult, er
 		workers = 4
 	}
 	out := make([]BatchResult, len(symbols))
-	// The whole batch runs under the snapshot read lock (WithFusedGraph):
-	// a concurrent RefreshSource patches the fused graph in place, and a
-	// worker reading a half-patched gene would emit silently-empty rows.
+	// The whole batch reads one pinned snapshot epoch (WithFusedGraph):
+	// the epoch is immutable, so every worker sees the same consistent
+	// world even while a concurrent RefreshSource publishes newer epochs.
 	err := s.Manager.WithFusedGraph(func(fused *oem.Graph, _ *mediator.Stats) error {
 		// Index fused genes by canonical symbol once.
 		idx := map[string]oem.OID{}

@@ -1,0 +1,128 @@
+package mediator
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/lorel"
+)
+
+// Batch evaluation: THEA-style ontology analyses ask hundreds of related
+// questions over one stable annotation world. AskBatch pins a single
+// snapshot epoch for the whole batch — one atomic load, amortized over N
+// questions — and evaluates the compiled plans concurrently against the
+// frozen epoch graph, so the batch scales with cores and every answer
+// describes the same consistent world even while refreshes publish new
+// epochs underneath.
+
+// BatchAnswer is one question's outcome within an AskBatch call. Result
+// and Stats are nil when Err is set; answers arrive in input order.
+type BatchAnswer struct {
+	Query  string
+	Result *lorel.Result
+	Stats  *Stats
+	Err    error
+}
+
+// AskBatch parses, compiles and evaluates many Lorel queries as one
+// batch. Snapshot-safe questions (the common case for generated analysis
+// workloads) are evaluated lock-free against one pinned epoch, bypassing
+// the result cache — strict same-world semantics beat reuse inside a
+// batch. Questions the snapshot cannot answer exactly (pruning or
+// pushdown would change what they observe) fall back to the full Query
+// path. A malformed question fails only its own answer, never the batch.
+//
+// The aggregate Stats describes the batch: BatchQuestions is the question
+// count and EvalTime the total wall-clock evaluation time (String reports
+// the per-question share).
+func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("mediator: empty batch")
+	}
+	answers := make([]BatchAnswer, len(queries))
+	for i, src := range queries {
+		answers[i].Query = src
+	}
+
+	// Pin one epoch for the whole batch (building it if cold). With the
+	// cache disabled there is no epoch infrastructure; every question
+	// runs the full pipeline concurrently instead.
+	var ep *snapshot
+	if m.cache != nil {
+		var err error
+		ep, _, err = m.pinEpoch()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	workers := m.opts.Workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if m.opts.Sequential {
+		workers = 1
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m.askOne(&answers[i], ep)
+		}(i)
+	}
+	wg.Wait()
+
+	var agg *Stats
+	if ep != nil {
+		agg = ep.stats.clone()
+	} else {
+		agg = &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
+	}
+	agg.BatchQuestions = len(queries)
+	agg.EvalTime = time.Since(t0)
+	agg.Delta = m.DeltaCounters()
+	return answers, agg, nil
+}
+
+// askOne answers one batch question into ans, against the pinned epoch
+// when the question qualifies.
+func (m *Manager) askOne(ans *BatchAnswer, ep *snapshot) {
+	q, err := lorel.Parse(ans.Query)
+	if err != nil {
+		ans.Err = err
+		return
+	}
+	canon := q.String()
+	an, err := m.analyze(q)
+	if err != nil {
+		ans.Err = err
+		return
+	}
+	if ep != nil && m.snapshotSafe(an, q) {
+		plan, err := m.planFor(q, canon)
+		if err != nil {
+			ans.Err = err
+			return
+		}
+		t := time.Now()
+		res, err := plan.Eval(ep.fs.graph)
+		if err != nil {
+			ans.Err = err
+			return
+		}
+		m.snapshotHits.Add(1)
+		stats := ep.stats.clone()
+		stats.EvalTime = time.Since(t)
+		stats.SnapshotUsed = true
+		stats.Delta = m.DeltaCounters()
+		ans.Result, ans.Stats = res, stats
+		return
+	}
+	ans.Result, ans.Stats, ans.Err = m.queryAnalyzed(q, canon, an)
+}

@@ -12,7 +12,7 @@ import (
 // Annotation/Disease/Protein entities. The per-query pipeline uses only the
 // join bookkeeping (key, symbols, geneIDs, contribs); the snapshot recorder
 // additionally tracks parts and conflicts so a ChangeSet can be applied to
-// the fused graph in place (see snapshot.go).
+// the fused graph (see snapshot.go).
 type fusedGene struct {
 	oid      oem.OID
 	key      string // canonical symbol, the fusion key
@@ -23,6 +23,12 @@ type fusedGene struct {
 	// Recorder-only bookkeeping (nil/empty on the per-query path).
 	parts     []*genePart
 	conflicts map[string]*Conflict
+
+	// Parallel-fusion bookkeeping: ord is the global first-appearance
+	// index of the gene's first entity (the deterministic merge order),
+	// shard the worker that owns the gene. Unused on the sequential path.
+	ord   int
+	shard int
 }
 
 func newFusedGene(key string) *fusedGene {
@@ -154,12 +160,97 @@ func (m *Manager) fuse(an *analysis, pops []*population, stats *Stats) (*oem.Gra
 	return m.fuseInto(an, pops, stats, nil)
 }
 
+// fuseGeneEntity merges one gene entity into the fused-gene table of graph
+// g: create-or-find the fused gene for key, copy non-reconciled structure
+// (first contributor wins), turn reconciled-label atoms into
+// contributions, and union join keys. It is the single pass-1 body shared
+// by sequential fusion and every parallel shard worker, so the two paths
+// cannot drift. root != 0 attaches newly created genes to it immediately
+// (the sequential layout); parallel shards pass 0 and wire roots at merge
+// time. ord stamps a created gene's global first-appearance index.
+func fuseGeneEntity(g *oem.Graph, root oem.OID, pop *population, i int, key string,
+	byKey map[string]*fusedGene, genes *[]*fusedGene, ord int, recorded bool) error {
+	e := pop.entities[i]
+	fg, exists := byKey[key]
+	if !exists {
+		fg = newFusedGene(key)
+		fg.oid = g.NewComplex()
+		fg.ord = ord
+		byKey[key] = fg
+		*genes = append(*genes, fg)
+		if root != 0 {
+			if err := g.AddRef(root, "Gene", fg.oid); err != nil {
+				return err
+			}
+		}
+	}
+	var part *genePart
+	if recorded {
+		part = &genePart{source: pop.source, hash: pop.hashes[i], symbols: []string{key}}
+		fg.parts = append(fg.parts, part)
+	}
+	// Copy non-reconciled labels from the entity (first contributor wins
+	// for structure; atoms under reconciled labels become contributions
+	// instead).
+	eo := pop.graph.Get(e)
+	for _, ref := range eo.Refs {
+		if isReconciled(ref.Label) {
+			c := pop.graph.Get(ref.Target)
+			if c != nil && c.IsAtomic() {
+				lbl := canonLabel(ref.Label)
+				v := c.Value()
+				fg.contribs[lbl] = append(fg.contribs[lbl],
+					SourceValue{Source: pop.source, Value: v})
+				if part != nil {
+					part.contribs = append(part.contribs, contribRecord{label: lbl, valueKey: valueKey(v)})
+				}
+			}
+			continue
+		}
+		imported, err := g.Import(pop.graph, ref.Target)
+		if err != nil {
+			return err
+		}
+		if err := g.AddRef(fg.oid, ref.Label, imported); err != nil {
+			return err
+		}
+		if part != nil {
+			part.refs = append(part.refs, oem.Ref{Label: ref.Label, Target: imported})
+		}
+	}
+	fg.symbols[key] = true
+	for _, a := range stringsUnder(pop.graph, e, "Alias") {
+		cs := gml.CanonicalSymbol(a)
+		fg.symbols[cs] = true
+		if part != nil {
+			part.symbols = append(part.symbols, cs)
+		}
+	}
+	if id, ok := intUnder(pop.graph, e, "GeneID"); ok {
+		fg.geneIDs[id] = true
+		if part != nil {
+			part.geneIDs = append(part.geneIDs, id)
+		}
+	}
+	return nil
+}
+
 // fuseInto is fuse with an optional recorder: when rec is non-nil the
 // fusion bookkeeping (gene parts, resident entities, join indexes,
 // per-gene conflicts) is captured into it so the resulting graph can later
-// be patched in place from a delta.ChangeSet. Populations feeding a
-// recorded fusion must carry entity hashes (fetch with hashes=true).
+// be patched from a delta.ChangeSet. Populations feeding a recorded fusion
+// must carry entity hashes (fetch with hashes=true). Large fusions run the
+// gene-key-sharded parallel path (see fuse_parallel.go), which is
+// parity-tested to produce the same fused world as this sequential one.
 func (m *Manager) fuseInto(an *analysis, pops []*population, stats *Stats, rec *fuseState) (*oem.Graph, error) {
+	if m.parallelFuseEligible(pops) {
+		return m.fuseParallel(an, pops, stats, rec)
+	}
+	return m.fuseSequential(an, pops, stats, rec)
+}
+
+// fuseSequential is the single-threaded reference fusion.
+func (m *Manager) fuseSequential(an *analysis, pops []*population, stats *Stats, rec *fuseState) (*oem.Graph, error) {
 	g := oem.NewGraph()
 	root := g.NewComplex()
 	g.SetRoot("ANNODA-GML", root)
@@ -175,70 +266,17 @@ func (m *Manager) fuseInto(an *analysis, pops []*population, stats *Stats, rec *
 	bySymbol := map[string]*fusedGene{}
 	byGeneID := map[int64]*fusedGene{}
 
+	ord := 0
 	for _, pop := range pops {
 		if pop.concept != "Gene" {
 			continue
 		}
-		for i, e := range pop.entities {
-			key := gml.CanonicalSymbol(stringUnder(pop.graph, e, "Symbol"))
-			fg, exists := byKey[key]
-			if !exists {
-				fg = newFusedGene(key)
-				fg.oid = g.NewComplex()
-				byKey[key] = fg
-				genes = append(genes, fg)
-				if err := g.AddRef(root, "Gene", fg.oid); err != nil {
-					return nil, err
-				}
+		for i := range pop.entities {
+			key := gml.CanonicalSymbol(stringUnder(pop.graph, pop.entities[i], "Symbol"))
+			if err := fuseGeneEntity(g, root, pop, i, key, byKey, &genes, ord, rec != nil); err != nil {
+				return nil, err
 			}
-			var part *genePart
-			if rec != nil {
-				part = &genePart{source: pop.source, hash: pop.hashes[i], symbols: []string{key}}
-				fg.parts = append(fg.parts, part)
-			}
-			// Copy non-reconciled labels from the entity (first
-			// contributor wins for structure; atoms under reconciled
-			// labels become contributions instead).
-			eo := pop.graph.Get(e)
-			for _, ref := range eo.Refs {
-				if isReconciled(ref.Label) {
-					c := pop.graph.Get(ref.Target)
-					if c != nil && c.IsAtomic() {
-						lbl := canonLabel(ref.Label)
-						v := c.Value()
-						fg.contribs[lbl] = append(fg.contribs[lbl],
-							SourceValue{Source: pop.source, Value: v})
-						if part != nil {
-							part.contribs = append(part.contribs, contribRecord{label: lbl, valueKey: valueKey(v)})
-						}
-					}
-					continue
-				}
-				imported, err := g.Import(pop.graph, ref.Target)
-				if err != nil {
-					return nil, err
-				}
-				if err := g.AddRef(fg.oid, ref.Label, imported); err != nil {
-					return nil, err
-				}
-				if part != nil {
-					part.refs = append(part.refs, oem.Ref{Label: ref.Label, Target: imported})
-				}
-			}
-			fg.symbols[key] = true
-			for _, a := range stringsUnder(pop.graph, e, "Alias") {
-				cs := gml.CanonicalSymbol(a)
-				fg.symbols[cs] = true
-				if part != nil {
-					part.symbols = append(part.symbols, cs)
-				}
-			}
-			if id, ok := intUnder(pop.graph, e, "GeneID"); ok {
-				fg.geneIDs[id] = true
-				if part != nil {
-					part.geneIDs = append(part.geneIDs, id)
-				}
-			}
+			ord++
 		}
 	}
 	for _, fg := range genes {

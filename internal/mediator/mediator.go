@@ -31,8 +31,13 @@ type Options struct {
 	// DisablePruning makes every mapped source participate in every query
 	// even when its concept cannot contribute.
 	DisablePruning bool
-	// Sequential turns off the parallel source fan-out.
+	// Sequential turns off the parallel source fan-out (and with it the
+	// parallel fusion).
 	Sequential bool
+	// SequentialFuse turns off only the gene-key-sharded parallel fusion,
+	// keeping the parallel source fan-out. The E16 ablation baseline and
+	// the sequential-vs-parallel parity tests use it.
+	SequentialFuse bool
 	// Workers bounds the fan-out (default: GOMAXPROCS).
 	Workers int
 	// CacheSize bounds the sharded result cache in entries (default
@@ -82,6 +87,12 @@ type Stats struct {
 	// may have been amortized over earlier queries), not this request.
 	SnapshotUsed bool
 
+	// BatchQuestions is the number of questions answered together by one
+	// AskBatch call (zero outside batch evaluation). EvalTime then holds
+	// the batch's total wall-clock evaluation time; String reports the
+	// per-question share.
+	BatchQuestions int
+
 	// Result-cache activity. CacheEnabled is false when the manager runs
 	// with DisableCache, in which case every other Cache field is zero and
 	// String() prints exactly what it printed before the cache existed.
@@ -118,6 +129,11 @@ func (s *Stats) String() string {
 	if s.SnapshotUsed {
 		sb.WriteString("snapshot: eval-only over shared fused graph\n")
 	}
+	if s.BatchQuestions > 0 {
+		per := s.EvalTime / time.Duration(s.BatchQuestions)
+		fmt.Fprintf(&sb, "batch: %d questions, eval %v total (%v/question)\n",
+			s.BatchQuestions, s.EvalTime.Round(time.Microsecond), per.Round(time.Microsecond))
+	}
 	if s.CacheEnabled {
 		outcome := "miss"
 		if s.CacheHit {
@@ -130,6 +146,9 @@ func (s *Stats) String() string {
 	if s.Delta != (DeltaCounters{}) {
 		fmt.Fprintf(&sb, "deltas: applied=%d entities=%d full-rebuilds=%d selective-invalidations=%d\n",
 			s.Delta.DeltasApplied, s.Delta.EntitiesPatched, s.Delta.FullRebuilds, s.Delta.SelectiveInvalidations)
+		if s.Delta.EpochsPublished > 0 || s.Delta.EpochPins > 0 {
+			fmt.Fprintf(&sb, "epochs: published=%d pins=%d\n", s.Delta.EpochsPublished, s.Delta.EpochPins)
+		}
 	}
 	return sb.String()
 }
@@ -160,18 +179,22 @@ type Manager struct {
 	snapshotHits   atomic.Int64
 	snapshotMisses atomic.Int64
 
-	// snap is the shared fused snapshot plus the fusion bookkeeping that
-	// lets RefreshSource patch it in place. Snapshot-path queries evaluate
-	// under the read lock; patching and rebuilding hold the write lock, so
-	// a query never observes a half-applied delta. fp is the source-set
-	// fingerprint the snapshot reflects — a mismatch means some source
-	// changed outside RefreshSource and the snapshot rebuilds on next use.
-	snap struct {
-		mu    sync.RWMutex
-		fp    uint64
-		fs    *fuseState
-		stats *Stats
-	}
+	// epoch is the published fused-snapshot epoch: an immutable
+	// {fuseState, stats, fingerprint} the read path pins with one atomic
+	// load and evaluates with no lock held (the epoch's graph is frozen).
+	// Publication — cold build, RefreshSource's clone-patch, full-rebuild
+	// fallback — happens under epochMu, which readers never touch: this is
+	// RCU, writers pay for copies so readers pay nothing. A nil pointer
+	// means no epoch exists for the current source fingerprint and the next
+	// pin builds one.
+	epoch   atomic.Pointer[snapshot]
+	epochMu sync.Mutex
+
+	// epochsPublished counts epoch publications (builds, patches, empty-
+	// delta republications); epochPins counts lock-free epoch acquisitions
+	// by the read path.
+	epochsPublished atomic.Int64
+	epochPins       atomic.Int64
 
 	// refreshing counts in-flight RefreshSource calls. While nonzero,
 	// ensureFresh suppresses the fingerprint-mismatch cache nuke and
@@ -323,6 +346,13 @@ func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return m.queryAnalyzed(q, canon, an)
+}
+
+// queryAnalyzed runs an already-canonicalized, already-analyzed query
+// through the cache (when enabled) and the compute pipeline — the shared
+// tail of Query and AskBatch's snapshot-unsafe fallback.
+func (m *Manager) queryAnalyzed(q *lorel.Query, canon string, an *analysis) (*lorel.Result, *Stats, error) {
 	if m.cache == nil {
 		return m.queryCompute(q, canon, an)
 	}
@@ -422,79 +452,99 @@ func (m *Manager) queryCompute(q *lorel.Query, canon string, an *analysis) (*lor
 	return m.execute(q, canon, an)
 }
 
-// querySnapshot answers a query by evaluating its compiled plan against the
-// shared fused snapshot — the full integrated graph built once per source
-// fingerprint, shared across every snapshot-safe query, and patched in
-// place by RefreshSource. The evaluation holds the snapshot read lock, so
-// it never observes a half-applied delta; the answer graph is
-// self-contained, so nothing references the snapshot once eval returns.
+// snapshot is one published fused-snapshot epoch. Everything it references
+// is immutable: the fuseState's graph is frozen and its bookkeeping is
+// never mutated after publication (RefreshSource patches a clone and
+// publishes that instead), so any number of goroutines can evaluate
+// against a pinned epoch with no synchronization at all, and a reader
+// pinned to an old epoch keeps a consistent pre-refresh world for as long
+// as it holds the pointer.
+type snapshot struct {
+	fs    *fuseState
+	stats *Stats
+	fp    uint64 // source-set fingerprint the epoch reflects
+}
+
+// querySnapshot answers a query by evaluating its compiled plan against a
+// pinned fused-snapshot epoch — the full integrated graph built once per
+// source fingerprint and shared across every snapshot-safe query. No lock
+// is held during evaluation: the epoch is one atomic pointer load, its
+// graph is frozen, and a concurrent RefreshSource publishes a patched
+// clone instead of mutating what this query is reading.
 func (m *Manager) querySnapshot(q *lorel.Query, canon string) (*lorel.Result, *Stats, error) {
 	plan, err := m.planFor(q, canon)
 	if err != nil {
 		return nil, nil, err
 	}
-	fs, base, release, _, err := m.acquireSnapshot()
+	ep, _, err := m.pinEpoch()
 	if err != nil {
 		return nil, nil, err
 	}
-	defer release()
 	t := time.Now()
-	res, err := plan.Eval(fs.graph)
+	res, err := plan.Eval(ep.fs.graph)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := base.clone()
+	stats := ep.stats.clone()
 	stats.EvalTime = time.Since(t)
 	stats.SnapshotUsed = true
 	return res, stats, nil
 }
 
-// acquireSnapshot returns the current fused snapshot under its read lock,
-// building (or rebuilding) it first when no snapshot exists for the
-// current source fingerprint. The caller must invoke release when done
-// reading; built reports whether this call constructed the snapshot.
+// pinEpoch returns the current fused-snapshot epoch, building and
+// publishing one first when none exists for the current source
+// fingerprint. The fast path is a single atomic load — no lock, no
+// reference counting, no release obligation: the returned epoch is
+// immutable and garbage-collected when the last pinner drops it. built
+// reports whether this call constructed the epoch.
 //
-// While a RefreshSource is mid-flight (m.refreshing > 0) a stale snapshot
-// is served as-is: the refresh becomes visible atomically when it
-// completes (it patches the snapshot and publishes the new fingerprint),
-// and rebuilding here would only waste a full fusion that the patch
-// supersedes. Readers during the window observe the pre-refresh world,
-// consistent with what the result cache serves (see ensureFresh).
-func (m *Manager) acquireSnapshot() (fs *fuseState, stats *Stats, release func(), built bool, err error) {
+// While a RefreshSource is mid-flight (m.refreshing > 0) a stale epoch is
+// served as-is: the refresh becomes visible atomically when it publishes
+// the patched epoch, and rebuilding here would only waste a full fusion
+// the patch supersedes. Readers during the window observe the pre-refresh
+// world, consistent with what the result cache serves (see ensureFresh).
+func (m *Manager) pinEpoch() (ep *snapshot, built bool, err error) {
 	for {
 		fp := m.sourceFingerprint()
-		m.snap.mu.RLock()
-		if m.snap.fs != nil && (m.snap.fp == fp || m.refreshing.Load() > 0) {
-			return m.snap.fs, m.snap.stats, m.snap.mu.RUnlock, built, nil
+		if s := m.epoch.Load(); s != nil && (s.fp == fp || m.refreshing.Load() > 0) {
+			m.epochPins.Add(1)
+			return s, built, nil
 		}
-		m.snap.mu.RUnlock()
-
-		m.snap.mu.Lock()
-		if m.snap.fs == nil || (m.snap.fp != fp && m.refreshing.Load() == 0) {
-			// Stamp the snapshot with a fingerprint computed atomically
-			// with the build, and verified unchanged after it: stamping a
-			// fingerprint observed before the lock could label a snapshot
+		m.epochMu.Lock()
+		if s := m.epoch.Load(); s == nil || (s.fp != m.sourceFingerprint() && m.refreshing.Load() == 0) {
+			// Stamp the epoch with a fingerprint computed atomically with
+			// the build, and verified unchanged after it: stamping a
+			// fingerprint observed before the lock could label an epoch
 			// built from newer models with an older fingerprint, and a
 			// concurrent RefreshSource would then double-apply its delta.
 			for {
 				fpPre := m.sourceFingerprint()
 				nfs, nstats, berr := m.buildFuseState()
 				if berr != nil {
-					m.snap.mu.Unlock()
-					return nil, nil, nil, false, berr
+					m.epochMu.Unlock()
+					return nil, false, berr
 				}
 				if m.sourceFingerprint() != fpPre {
 					continue // a source moved mid-build; rebuild
 				}
-				m.snap.fs, m.snap.stats, m.snap.fp = nfs, nstats, fpPre
+				m.publishLocked(&snapshot{fs: nfs, stats: nstats, fp: fpPre})
 				built = true
 				break
 			}
 		}
-		m.snap.mu.Unlock()
-		// Loop: re-take the read lock and re-check — the fingerprint may
-		// have moved again while we built.
+		m.epochMu.Unlock()
+		// Loop: re-pin — the fingerprint may have moved again while we
+		// built, or another builder may have published first.
 	}
+}
+
+// publishLocked freezes the epoch's graph and makes the epoch current.
+// m.epochMu must be held; readers observe the flip on their next atomic
+// load and are never blocked by it.
+func (m *Manager) publishLocked(s *snapshot) {
+	s.fs.graph.Freeze()
+	m.epoch.Store(s)
+	m.epochsPublished.Add(1)
 }
 
 // execute runs the full pipeline for one analyzed query: fetch, fuse, eval.
@@ -581,34 +631,34 @@ func (m *Manager) snapshotSafe(an *analysis, q *lorel.Query) bool {
 // FusedGraph returns the full integrated graph (every concept, no
 // pushdown): the materialized "consistent view of annotation data". Views
 // and the navigation layer render from it. With the cache enabled the
-// returned graph is the shared fused snapshot — treat it as read-only, and
-// do not retain it across a source refresh: RefreshSource patches it in
-// place. Callers needing an isolated graph should run with DisableCache,
-// which builds a private one per call.
+// returned graph is the current epoch's frozen snapshot: immutable, safe
+// to read from any number of goroutines, and safe to retain across a
+// source refresh — the caller simply keeps observing the epoch it pinned
+// while newer queries see the refreshed one. Callers needing a mutable
+// private graph should run with DisableCache, which builds one per call.
 func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
 	if m.cache == nil {
 		return m.fusedGraphUncached()
 	}
-	fs, base, release, built, err := m.acquireSnapshot()
+	ep, built, err := m.pinEpoch()
 	if err != nil {
 		return nil, nil, err
 	}
-	g := fs.graph
-	stats := base.clone()
-	release()
+	stats := ep.stats.clone()
 	stats.CacheEnabled = true
 	stats.CacheHit = !built
 	stats.Cache = m.cache.Counters()
 	stats.Delta = m.DeltaCounters()
-	return g, stats, nil
+	return ep.fs.graph, stats, nil
 }
 
-// WithFusedGraph runs fn over the fused graph with the snapshot read lock
-// held for fn's whole duration, so no concurrent RefreshSource patch can
-// mutate the graph mid-read. Readers that hold the graph for longer than
-// one call — batch annotation fanning work out to goroutines, long view
-// renders — must use this instead of retaining FusedGraph's return value.
-// fn must not call back into the manager's refresh or snapshot paths.
+// WithFusedGraph runs fn over one pinned fused-snapshot epoch. The epoch
+// is immutable, so fn sees a consistent world for its whole duration no
+// matter how many RefreshSource calls publish new epochs meanwhile — and
+// unlike the old read-locked contract, fn holds no lock, may run as long
+// as it likes, and may safely call back into the manager (including the
+// refresh path: the refresh publishes a new epoch without touching the
+// one fn reads).
 func (m *Manager) WithFusedGraph(fn func(*oem.Graph, *Stats) error) error {
 	if m.cache == nil {
 		g, stats, err := m.fusedGraphUncached()
@@ -617,12 +667,11 @@ func (m *Manager) WithFusedGraph(fn func(*oem.Graph, *Stats) error) error {
 		}
 		return fn(g, stats)
 	}
-	fs, base, release, _, err := m.acquireSnapshot()
+	ep, _, err := m.pinEpoch()
 	if err != nil {
 		return err
 	}
-	defer release()
-	return fn(fs.graph, base.clone())
+	return fn(ep.fs.graph, ep.stats.clone())
 }
 
 // buildFuseState runs the full fetch+fuse pipeline over every mapped

@@ -2,6 +2,7 @@ package mediator
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"time"
 
@@ -12,13 +13,16 @@ import (
 
 // This file implements incremental maintenance of the shared fused
 // snapshot: the fuseState recorded during a full fusion holds enough
-// bookkeeping to apply a delta.ChangeSet to the fused graph in place —
-// remove the stale fused entities, translate and re-fuse only the touched
-// ones, and re-reconcile only the genes whose contributions changed —
-// instead of rebuilding the whole integrated view.
+// bookkeeping to apply a delta.ChangeSet to the fused graph — remove the
+// stale fused entities, translate and re-fuse only the touched ones, and
+// re-reconcile only the genes whose contributions changed — instead of
+// rebuilding the whole integrated view. The patch target is a deep clone
+// of the published epoch's state (clone-patch-publish, see RefreshSource):
+// the epoch readers hold is immutable and never sees a half-applied delta.
 
 // fuseState is the recorded fusion bookkeeping for one fused snapshot.
-// All mutation happens under the Manager's snapshot write lock.
+// Once published inside an epoch it is immutable; all mutation happens on
+// an unpublished clone, under the Manager's epochMu.
 type fuseState struct {
 	graph    *oem.Graph
 	root     oem.OID
@@ -176,11 +180,11 @@ func (d dirtySet) mark(fg *fusedGene, label string) {
 	labels[label] = true
 }
 
-// apply patches the fused snapshot in place from one source's ChangeSet:
-// deletions first (a modified entity frees its slot before its new form
-// arrives), then upserts, then one re-reconciliation pass over the genes
-// whose contributions changed. Any bookkeeping inconsistency aborts with
-// an error; the caller must then discard the snapshot.
+// apply patches an (unpublished, cloned) fuse state from one source's
+// ChangeSet: deletions first (a modified entity frees its slot before its
+// new form arrives), then upserts, then one re-reconciliation pass over
+// the genes whose contributions changed. Any bookkeeping inconsistency
+// aborts with an error; the caller must then discard the clone.
 func (fs *fuseState) apply(cs *delta.ChangeSet, mp *gml.SourceMapping, stats *Stats) error {
 	dirty := dirtySet{}
 	for _, d := range cs.Deleted {
@@ -246,6 +250,108 @@ func (fs *fuseState) hashCounts(source string) map[uint64]int {
 		out[h] += len(owners)
 	}
 	return out
+}
+
+// clone deep-copies the fuse state so a delta can be applied without
+// disturbing the published epoch: the graph is cloned oid-preserving (the
+// bookkeeping addresses objects by oid, so it stays valid against the
+// copy), and every structure apply() mutates — genes, parts, resident
+// entities, join indexes — is copied with pointer identity re-established
+// in the copy. Immutable leaves (priority, *Conflict records, which are
+// replaced rather than edited) are shared.
+func (fs *fuseState) clone() *fuseState {
+	nf := &fuseState{
+		graph:       fs.graph.Clone(),
+		root:        fs.root,
+		policy:      fs.policy,
+		priority:    fs.priority,
+		genes:       make(map[string]*fusedGene, len(fs.genes)),
+		bySymbol:    make(map[string]*fusedGene, len(fs.bySymbol)),
+		byGeneID:    make(map[int64]*fusedGene, len(fs.byGeneID)),
+		ents:        make(map[string]map[uint64][]*fusedEntity, len(fs.ents)),
+		geneParts:   make(map[string]map[uint64][]*fusedGene, len(fs.geneParts)),
+		entBySymbol: make(map[string]map[*fusedEntity]bool, len(fs.entBySymbol)),
+		entByGeneID: make(map[int64]map[*fusedEntity]bool, len(fs.entByGeneID)),
+	}
+	gmap := make(map[*fusedGene]*fusedGene, len(fs.genes))
+	for k, fg := range fs.genes {
+		nfg := &fusedGene{
+			oid:      fg.oid,
+			key:      fg.key,
+			geneIDs:  maps.Clone(fg.geneIDs),
+			symbols:  maps.Clone(fg.symbols),
+			contribs: make(map[string][]SourceValue, len(fg.contribs)),
+		}
+		for l, vs := range fg.contribs {
+			nfg.contribs[l] = append([]SourceValue(nil), vs...)
+		}
+		if fg.parts != nil {
+			nfg.parts = make([]*genePart, len(fg.parts))
+			for i, p := range fg.parts {
+				np := *p
+				np.refs = append([]oem.Ref(nil), p.refs...)
+				np.symbols = append([]string(nil), p.symbols...)
+				np.geneIDs = append([]int64(nil), p.geneIDs...)
+				np.contribs = append([]contribRecord(nil), p.contribs...)
+				nfg.parts[i] = &np
+			}
+		}
+		if fg.conflicts != nil {
+			nfg.conflicts = maps.Clone(fg.conflicts)
+		}
+		nf.genes[k] = nfg
+		gmap[fg] = nfg
+	}
+	for s, fg := range fs.bySymbol {
+		nf.bySymbol[s] = gmap[fg]
+	}
+	for id, fg := range fs.byGeneID {
+		nf.byGeneID[id] = gmap[fg]
+	}
+	emap := make(map[*fusedEntity]*fusedEntity)
+	for src, byHash := range fs.ents {
+		nb := make(map[uint64][]*fusedEntity, len(byHash))
+		for h, list := range byHash {
+			nl := make([]*fusedEntity, len(list))
+			for i, fe := range list {
+				ne := *fe
+				ne.symbols = append([]string(nil), fe.symbols...)
+				ne.geneIDs = append([]int64(nil), fe.geneIDs...)
+				ne.owners = append([]string(nil), fe.owners...)
+				ne.contribs = append([]ownedContrib(nil), fe.contribs...)
+				nl[i] = &ne
+				emap[fe] = &ne
+			}
+			nb[h] = nl
+		}
+		nf.ents[src] = nb
+	}
+	for src, byHash := range fs.geneParts {
+		nb := make(map[uint64][]*fusedGene, len(byHash))
+		for h, list := range byHash {
+			nl := make([]*fusedGene, len(list))
+			for i, fg := range list {
+				nl[i] = gmap[fg]
+			}
+			nb[h] = nl
+		}
+		nf.geneParts[src] = nb
+	}
+	for s, set := range fs.entBySymbol {
+		ns := make(map[*fusedEntity]bool, len(set))
+		for fe := range set {
+			ns[emap[fe]] = true
+		}
+		nf.entBySymbol[s] = ns
+	}
+	for id, set := range fs.entByGeneID {
+		ns := make(map[*fusedEntity]bool, len(set))
+		for fe := range set {
+			ns[emap[fe]] = true
+		}
+		nf.entByGeneID[id] = ns
+	}
+	return nf
 }
 
 // removeEntity takes one link-concept entity out of the snapshot: root and
@@ -703,6 +809,12 @@ type DeltaCounters struct {
 	// SelectiveInvalidations counts cached results dropped by
 	// concept-scoped invalidation (instead of a full cache nuke).
 	SelectiveInvalidations int64
+	// EpochsPublished counts fused-snapshot epoch publications: cold
+	// builds, clone-patches, and empty-delta republications.
+	EpochsPublished int64
+	// EpochPins counts lock-free epoch acquisitions by the read path
+	// (snapshot-path queries, batch evaluations, fused-graph readers).
+	EpochPins int64
 }
 
 // DeltaCounters snapshots the delta subsystem's cumulative counters.
@@ -712,6 +824,8 @@ func (m *Manager) DeltaCounters() DeltaCounters {
 		EntitiesPatched:        m.entitiesPatched.Load(),
 		FullRebuilds:           m.fullRebuilds.Load(),
 		SelectiveInvalidations: m.selectiveInvalidations.Load(),
+		EpochsPublished:        m.epochsPublished.Load(),
+		EpochPins:              m.epochPins.Load(),
 	}
 }
 
@@ -732,7 +846,7 @@ type RefreshResult struct {
 	// rebuild itself happens lazily, on the next query or snapshot use.
 	FullRebuild bool
 	Reason      string
-	// Patched: the shared fused snapshot was updated in place.
+	// Patched: a patched snapshot epoch was published (clone-patch-publish).
 	Patched bool
 	// Invalidated is the number of cached results dropped by
 	// concept-scoped invalidation.
@@ -742,11 +856,12 @@ type RefreshResult struct {
 
 // RefreshSource refreshes one registered source and propagates the change
 // as a delta: the old and new ANNODA-OML models are compared (or the
-// wrapper's native changelog consulted), the shared fused snapshot is
-// patched in place, and only cached results whose concepts the change
-// touches are invalidated. When the delta is unavailable or too large the
-// call degrades to the pre-delta behaviour — drop everything, rebuild on
-// next use — so it is always safe to call.
+// wrapper's native changelog consulted), a clone of the current snapshot
+// epoch is patched and published as the next epoch, and only cached
+// results whose concepts the change touches are invalidated. When the
+// delta is unavailable or too large the call degrades to the pre-delta
+// behaviour — drop everything, rebuild on next use — so it is always safe
+// to call.
 func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	w := m.reg.Get(name)
 	if w == nil {
@@ -793,16 +908,14 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	defer m.refreshing.Add(-1)
 
 	// The differ needs a baseline for the pre-refresh population. When the
-	// fused snapshot is current it already records every entity's hash —
-	// the old model never gets re-hashed (or even rebuilt). Otherwise the
-	// old model itself must be in hand before Refresh discards it.
+	// current epoch is fresh it already records every entity's hash — the
+	// old model never gets re-hashed (or even rebuilt). The epoch read is
+	// lock-free: published fuse states are immutable.
 	fpBefore := m.sourceFingerprint()
 	var oldCounts map[uint64]int
-	m.snap.mu.RLock()
-	if m.snap.fs != nil && m.snap.fp == fpBefore {
-		oldCounts = m.snap.fs.hashCounts(name)
+	if ep := m.epoch.Load(); ep != nil && ep.fp == fpBefore {
+		oldCounts = ep.fs.hashCounts(name)
 	}
-	m.snap.mu.RUnlock()
 	var oldModel *oem.Graph
 	if oldCounts == nil {
 		var err error
@@ -849,23 +962,33 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 			cs.Fraction()*100, maxFrac*100))
 	}
 
-	// Patch the shared snapshot in place — but only if it still describes
-	// the pre-refresh world; patching anything newer would double-apply.
-	m.snap.mu.Lock()
-	if m.snap.fs != nil && m.snap.fp == fpBefore {
-		if !cs.Empty() {
-			if err := m.snap.fs.apply(cs, mp, m.snap.stats); err != nil {
-				// A half-applied snapshot is poison; drop it and rebuild
-				// lazily.
-				m.snap.fs, m.snap.stats = nil, nil
-				m.snap.mu.Unlock()
+	// Clone-patch-publish: the current epoch stays untouched (readers
+	// pinned to it keep a consistent pre-refresh world); the delta is
+	// applied to a deep clone, which is frozen and published as the next
+	// epoch. Only an epoch that still describes the pre-refresh world is
+	// patched — patching anything newer would double-apply.
+	m.epochMu.Lock()
+	if cur := m.epoch.Load(); cur != nil && cur.fp == fpBefore {
+		if cs.Empty() {
+			// Nothing changed structurally; republish the same immutable
+			// fuse state under the new fingerprint.
+			m.publishLocked(&snapshot{fs: cur.fs, stats: cur.stats, fp: fpAfter})
+		} else {
+			nfs := cur.fs.clone()
+			nstats := cur.stats.clone()
+			if err := nfs.apply(cs, mp, nstats); err != nil {
+				// A half-applied clone is simply dropped; the published
+				// epoch was never touched, but its fingerprint is stale
+				// now, so retire it and rebuild lazily.
+				m.epoch.Store(nil)
+				m.epochMu.Unlock()
 				return fullRebuild("snapshot patch failed: " + err.Error())
 			}
+			m.publishLocked(&snapshot{fs: nfs, stats: nstats, fp: fpAfter})
 		}
-		m.snap.fp = fpAfter
 		rr.Patched = true
 	}
-	m.snap.mu.Unlock()
+	m.epochMu.Unlock()
 
 	m.deltasApplied.Add(1)
 	m.entitiesPatched.Add(int64(cs.Size()))

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"unicode"
 	"unicode/utf8"
 )
@@ -45,6 +46,10 @@ type Graph struct {
 	// slabMax so tiny graphs stay tiny.
 	slab     []Object
 	slabSize int
+
+	// frozen marks the graph immutable (see Freeze): read accessors skip
+	// the mutex, mutators panic. One-way.
+	frozen atomic.Bool
 }
 
 // slabMax bounds the object allocation chunk size.
@@ -71,13 +76,22 @@ func NewGraph() *Graph {
 
 // Len returns the number of objects in the graph.
 func (g *Graph) Len() int {
+	if g.frozen.Load() {
+		return len(g.objects)
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.objects)
 }
 
-// Get returns the object with the given oid, or nil if absent.
+// Get returns the object with the given oid, or nil if absent. On a frozen
+// graph the lookup is lock-free — this is the single hottest operation of
+// concurrent plan evaluation over a shared snapshot, and a read lock here
+// would put every evaluating goroutine on one contended cache line.
 func (g *Graph) Get(id OID) *Object {
+	if g.frozen.Load() {
+		return g.objects[id]
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.objects[id]
@@ -105,6 +119,7 @@ func (g *Graph) OIDs() []OID {
 }
 
 func (g *Graph) alloc(kind Kind) *Object {
+	g.mustMutable("allocate")
 	if len(g.slab) == 0 {
 		if g.slabSize < slabMax {
 			g.slabSize = g.slabSize*2 + 8
@@ -274,6 +289,7 @@ func (g *Graph) NewComplex(refs ...Ref) OID {
 
 // AddRef appends a (label, target) reference to an existing complex object.
 func (g *Graph) AddRef(parent OID, label string, target OID) error {
+	g.mustMutable("AddRef")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	o := g.objects[parent]
@@ -292,6 +308,7 @@ func (g *Graph) AddRef(parent OID, label string, target OID) error {
 // ownership of refs. Bulk builders (query-answer import, fusion) size the
 // slice once instead of paying per-AddRef growth and locking.
 func (g *Graph) SetRefs(parent OID, refs []Ref) error {
+	g.mustMutable("SetRefs")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	o := g.objects[parent]
@@ -311,6 +328,7 @@ func (g *Graph) SetRefs(parent OID, refs []Ref) error {
 // detach a single stale edge without disturbing siblings under the same
 // label.
 func (g *Graph) RemoveRef(parent OID, label string, target OID) bool {
+	g.mustMutable("RemoveRef")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	o := g.objects[parent]
@@ -334,6 +352,7 @@ func (g *Graph) RemoveRef(parent OID, label string, target OID) bool {
 // TranslateEntity calls, which never share structure with one another.
 // In-edges into the subtree root itself must be detached (RemoveRef) first.
 func (g *Graph) RemoveSubtree(id OID) int {
+	g.mustMutable("RemoveSubtree")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	removed := 0
@@ -358,6 +377,7 @@ func (g *Graph) RemoveSubtree(id OID) int {
 // RemoveRefs deletes every reference under the given label from the parent
 // object and returns how many were removed.
 func (g *Graph) RemoveRefs(parent OID, label string) int {
+	g.mustMutable("RemoveRefs")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	o := g.objects[parent]
@@ -382,6 +402,7 @@ func (g *Graph) RemoveRefs(parent OID, label string) int {
 
 // SetRoot registers (or replaces) a named root.
 func (g *Graph) SetRoot(name string, id OID) {
+	g.mustMutable("SetRoot")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for i := range g.roots {
@@ -395,8 +416,10 @@ func (g *Graph) SetRoot(name string, id OID) {
 
 // Root returns the oid registered under name, or 0 if absent.
 func (g *Graph) Root(name string) OID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	if !g.frozen.Load() {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+	}
 	for _, r := range g.roots {
 		if r.Name == name {
 			return r.OID
@@ -409,8 +432,10 @@ func (g *Graph) Root(name string) OID {
 // Unicode case folding, or 0 if absent. Query evaluation resolves path bases
 // through it — unlike Roots it does not copy the root list.
 func (g *Graph) RootMatch(name string) OID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	if !g.frozen.Load() {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+	}
 	for _, r := range g.roots {
 		if strings.EqualFold(r.Name, name) {
 			return r.OID
@@ -499,6 +524,10 @@ func (ix LabelIndex) Targets(id OID, folded string) []OID { return ix.m[id][fold
 // index left stale by mutations (snapshot patching) is repaired first,
 // touching only the dirty entries.
 func (g *Graph) LabelIndex() (LabelIndex, bool) {
+	if g.frozen.Load() {
+		// Freeze built the index and no mutation can dirty it.
+		return LabelIndex{m: g.labels}, true
+	}
 	g.mu.RLock()
 	if g.labels == nil {
 		g.mu.RUnlock()
@@ -523,6 +552,9 @@ func (g *Graph) LabelIndex() (LabelIndex, bool) {
 // graph (a fused snapshot, a materialized source model); it is a no-op
 // while the index is live and clean.
 func (g *Graph) EnsureLabelIndex() {
+	if g.frozen.Load() {
+		return // built at Freeze time, permanently clean
+	}
 	g.mu.RLock()
 	ready := g.labels != nil && len(g.labelsDirty) == 0
 	g.mu.RUnlock()

@@ -280,6 +280,7 @@ func (g *Graph) getRaw(id OID) *Object {
 }
 
 func (g *Graph) putRaw(o *Object) {
+	g.mustMutable("putRaw")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.objects[o.ID] = o
@@ -373,6 +374,7 @@ func parseLine(s string) (label string, id OID, kind Kind, val string, err error
 // SortRefs orders a complex object's references by label then target oid.
 // Wrappers use it to make OML exports deterministic.
 func (g *Graph) SortRefs(id OID) {
+	g.mustMutable("SortRefs")
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	o := g.objects[id]

@@ -4,9 +4,10 @@
 // annotation sources, so recomputing the federated fan-out per request is
 // pure waste.
 //
-// The key space is hash-partitioned over 16 independently locked shards so
-// concurrent queries for different keys never contend on one mutex. Each
-// shard keeps an intrusive LRU list bounded at capacity/16 entries; an
+// The key space is hash-partitioned over ShardCount independently locked
+// shards so concurrent queries for different keys never contend on one
+// mutex. Each shard keeps an intrusive LRU list bounded at its share of
+// the capacity; an
 // optional TTL expires entries lazily on lookup. Do() collapses concurrent
 // computations of the same key into a single call (singleflight), so a
 // thundering herd of identical questions costs one federated query.
@@ -22,14 +23,28 @@ import (
 	"container/list"
 	"errors"
 	"hash/maphash"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// ShardCount is the number of hash partitions. 16 keeps per-shard mutex
-// contention negligible at server fan-in while staying cheap to clear.
-const ShardCount = 16
+// ShardCount is the number of hash partitions, sized at init from the
+// machine's parallelism: the smallest power of two >= GOMAXPROCS, floored
+// at 16 (the old fixed count — below that, eviction granularity suffers
+// without buying contention relief) and capped at 256 (past which shards
+// stop reducing contention and only make Invalidate and Counters walk
+// more mutexes). Power-of-two so the hash distributes evenly under the
+// modulo.
+var ShardCount = defaultShardCount(runtime.GOMAXPROCS(0))
+
+func defaultShardCount(parallelism int) int {
+	n := 16
+	for n < parallelism && n < 256 {
+		n <<= 1
+	}
+	return n
+}
 
 // DefaultCapacity bounds the cache when the caller passes capacity <= 0.
 const DefaultCapacity = 256
@@ -69,7 +84,7 @@ type Counters struct {
 
 // Cache is the sharded LRU. The zero value is not usable; call New.
 type Cache struct {
-	shards [ShardCount]shard
+	shards []shard
 	seed   maphash.Seed
 	ttl    time.Duration
 	perCap int
@@ -132,7 +147,8 @@ func New(capacity int, ttl time.Duration) *Cache {
 	if perCap < 1 {
 		perCap = 1
 	}
-	c := &Cache{seed: maphash.MakeSeed(), ttl: ttl, perCap: perCap, now: time.Now}
+	c := &Cache{seed: maphash.MakeSeed(), ttl: ttl, perCap: perCap, now: time.Now,
+		shards: make([]shard, ShardCount)}
 	for i := range c.shards {
 		c.shards[i].entries = map[string]*list.Element{}
 		c.shards[i].lru = list.New()
@@ -143,7 +159,7 @@ func New(capacity int, ttl time.Duration) *Cache {
 
 // shardIndex hash-partitions a key.
 func (c *Cache) shardIndex(key string) int {
-	return int(maphash.String(c.seed, key) % ShardCount)
+	return int(maphash.String(c.seed, key) % uint64(len(c.shards)))
 }
 
 // Get returns the cached value for key, if present and unexpired.

@@ -511,3 +511,19 @@ func TestInvalidateTagsFencesInflight(t *testing.T) {
 		t.Fatalf("post-fence compute not stored: %v %v", v, ok)
 	}
 }
+
+// TestDefaultShardCount: the shard count follows the machine's parallelism
+// as a bounded power of two, never below the historical 16.
+func TestDefaultShardCount(t *testing.T) {
+	cases := []struct{ parallelism, want int }{
+		{1, 16}, {4, 16}, {16, 16}, {17, 32}, {24, 32}, {64, 64}, {100, 128}, {1000, 256},
+	}
+	for _, c := range cases {
+		if got := defaultShardCount(c.parallelism); got != c.want {
+			t.Errorf("defaultShardCount(%d) = %d, want %d", c.parallelism, got, c.want)
+		}
+	}
+	if ShardCount&(ShardCount-1) != 0 || ShardCount < 16 || ShardCount > 256 {
+		t.Errorf("ShardCount = %d: not a bounded power of two", ShardCount)
+	}
+}
