@@ -26,9 +26,10 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every paper-artifact benchmark a few iterations (smoke), not a
-# statistically careful run.
+# statistically careful run. ./... matters: the internal/ packages carry
+# benchmarks too, and a bare "." silently skipped all of them.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 5x .
+	$(GO) test -run xxx -bench . -benchtime 5x ./...
 
 # bench-smoke compiles and runs every benchmark in the tree exactly once so
 # CI catches benchmarks that no longer build or crash — they must not rot
@@ -38,6 +39,7 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='E16_Concurrent|E16_QueriesUnderRefreshChurn|E16_AskBatch' -benchtime=1x -cpu 8 .
+	$(GO) test -run=NONE -bench='E17_Restore1k|E17_DeltaRefreshPersisted1k|E17_RestoreReplay32_1k' -benchtime=1x .
 
 serve:
 	$(GO) run ./cmd/annoda-server

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/mediator"
+	"repro/internal/snapstore"
 )
 
 // System is a running ANNODA instance. It embeds the internal system; all
@@ -85,3 +86,25 @@ func NewSystem(c *Corpus, opts Options) (*System, error) { return core.New(c, op
 // genes, which are annotated with some GO functions, but not associated
 // with some OMIM disease".
 func Figure5bQuestion() Question { return core.Figure5bQuestion() }
+
+// SnapshotStore is a durable checkpoint + delta-WAL store for the fused
+// annotation world (see DESIGN.md "Persistence"). Attach one with
+// sys.Manager.EnablePersistence, checkpoint with SaveSnapshot, and warm-
+// start a fresh process with LoadSnapshot — restore decodes the newest
+// valid checkpoint and replays its WAL instead of refetching and re-fusing
+// every source.
+type SnapshotStore = snapstore.Store
+
+// SnapshotStoreOptions tunes a SnapshotStore (WAL fsync, retention).
+type SnapshotStoreOptions = snapstore.Options
+
+// PersistPolicy drives auto-checkpointing: the delta WAL is folded into a
+// fresh checkpoint after EveryRecords records or EveryBytes bytes (zero
+// values select the defaults).
+type PersistPolicy = mediator.PersistPolicy
+
+// OpenSnapshotStore creates (if needed) and opens a snapshot store
+// directory.
+func OpenSnapshotStore(dir string, opts SnapshotStoreOptions) (*SnapshotStore, error) {
+	return snapstore.Open(dir, opts)
+}

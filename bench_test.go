@@ -21,6 +21,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/navigate"
 	"repro/internal/oem"
+	"repro/internal/snapstore"
 	"repro/internal/sources/locuslink"
 	"repro/internal/warehouse"
 	"repro/internal/wrapper"
@@ -897,4 +898,256 @@ func runLorel(g *oem.Graph, src string) (int, string, error) {
 		return 0, "", err
 	}
 	return res.Size(), oem.TextString(res.Graph, "answer", res.Answer), nil
+}
+
+// --- E17: durable snapshot store — warm restore vs cold fetch+fuse ----------
+
+// benchE17Prime checkpoints a system's fused world into dir and returns
+// the (registry, global model) pair a "restarted process" reuses.
+func benchE17Prime(b *testing.B, genes int, dir string) *core.System {
+	b.Helper()
+	sys := benchSystem(b, genes)
+	st, err := snapstore.Open(dir, snapstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Manager.SaveSnapshot(); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchmarkE17ColdFuse is the restart baseline: every iteration plays a
+// freshly booted process without a snapshot store — wrapper models rebuild
+// from native storage and the mediator fetches, translates and fuses the
+// whole world before the first query can be answered.
+func benchmarkE17ColdFuse(b *testing.B, genes int) {
+	sys := benchSystem(b, genes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, w := range sys.Registry.All() {
+			w.Refresh() // a restarted process holds no cached models
+		}
+		b.StartTimer()
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{})
+		g, _, err := m.FusedGraph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Len() == 0 {
+			b.Fatal("empty fused graph")
+		}
+	}
+}
+
+// benchmarkE17Restore plays the same restart against a primed data dir:
+// open the store, decode the newest checkpoint, replay its (empty) WAL,
+// publish — no wrapper fetch, no fusion.
+func benchmarkE17Restore(b *testing.B, genes int) {
+	dir := b.TempDir()
+	sys := benchE17Prime(b, genes, dir)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{})
+		st, err := snapstore.Open(dir, snapstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+			b.Fatal(err)
+		}
+		rr, err := m.LoadSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rr.Restored {
+			b.Fatalf("restore fell back: %+v", rr)
+		}
+		g, _, err := m.FusedGraph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Len() == 0 {
+			b.Fatal("empty restored graph")
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17_ColdFuse1k(b *testing.B)  { benchmarkE17ColdFuse(b, 1000) }
+func BenchmarkE17_Restore1k(b *testing.B)   { benchmarkE17Restore(b, 1000) }
+func BenchmarkE17_ColdFuse10k(b *testing.B) { benchmarkE17ColdFuse(b, 10000) }
+func BenchmarkE17_Restore10k(b *testing.B)  { benchmarkE17Restore(b, 10000) }
+
+// BenchmarkE17_DeltaRefreshPersisted1k measures the persistence tax on the
+// E15 refresh cycle: each iteration edits 1% of LocusLink, routes the
+// refresh through RefreshSource — which (with persistence on) also encodes
+// the ChangeSet and appends it to the delta WAL — and then asks the E15
+// question. BenchmarkE15_DeltaRefresh1k is the identical cycle without
+// persistence; the difference is the WAL's cost.
+func BenchmarkE17_DeltaRefreshPersisted1k(b *testing.B) {
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := snapstore.Open(b.TempDir(), snapstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	// A huge record bound keeps auto-checkpointing out of the steady-state
+	// measurement (checkpoint cost is measured separately below).
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{EveryRecords: 1 << 30, EveryBytes: 1 << 50}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Manager.SaveSnapshot(); err != nil {
+		b.Fatal(err)
+	}
+	loci := make([]int, 0, 10)
+	for i := range sys.Corpus.Genes {
+		if len(loci) == 10 {
+			break
+		}
+		loci = append(loci, sys.Corpus.Genes[i].LocusID)
+	}
+	if _, stats, err := sys.Query(e15Query); err != nil {
+		b.Fatal(err)
+	} else if !stats.SnapshotUsed {
+		b.Fatal("warm query missed the snapshot path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := fmt.Sprintf("revision %d", i)
+		for _, id := range loci {
+			if err := sys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rr, err := sys.Manager.RefreshSource("LocusLink")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rr.FullRebuild || !rr.Patched {
+			b.Fatalf("delta path not taken: %+v", rr)
+		}
+		res, _, err := sys.Query(e15Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size() == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+	b.StopTimer()
+	if pc, _ := sys.Manager.PersistCounters(); pc.WALAppended < int64(b.N) {
+		b.Fatalf("WAL appends %d < iterations %d", pc.WALAppended, b.N)
+	}
+}
+
+// BenchmarkE17_RestoreReplay32_1k restores a store whose checkpoint is 32
+// refreshes old: checkpoint decode plus 32 ChangeSet replays through the
+// patch path — the worst case the default auto-checkpoint policy permits
+// is twice this.
+func BenchmarkE17_RestoreReplay32_1k(b *testing.B) {
+	dir := b.TempDir()
+	sys, err := core.New(benchCorpus(1000), mediator.Options{CacheSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := snapstore.Open(dir, snapstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{EveryRecords: 1 << 30, EveryBytes: 1 << 50}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Manager.SaveSnapshot(); err != nil {
+		b.Fatal(err)
+	}
+	loci := make([]int, 0, 10)
+	for i := range sys.Corpus.Genes {
+		if len(loci) == 10 {
+			break
+		}
+		loci = append(loci, sys.Corpus.Genes[i].LocusID)
+	}
+	for r := 0; r < 32; r++ {
+		rev := fmt.Sprintf("churn %d", r)
+		for _, id := range loci {
+			if err := sys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rr, err := sys.Manager.RefreshSource("LocusLink")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rr.Patched {
+			b.Fatalf("churn refresh %d did not patch: %+v", r, rr)
+		}
+	}
+	if pc, _ := sys.Manager.PersistCounters(); pc.WALAppended != 32 {
+		b.Fatalf("WAL has %d records, want 32", pc.WALAppended)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{CacheSize: 4096})
+		st, err := snapstore.Open(dir, snapstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+			b.Fatal(err)
+		}
+		rr, err := m.LoadSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rr.Restored || rr.WALReplayed != 32 {
+			b.Fatalf("restore: %+v, want 32 replayed records", rr)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17_CheckpointWrite isolates the cost of one checkpoint:
+// encode the fused world and write it durably (fsync + atomic rename).
+func BenchmarkE17_CheckpointWrite1k(b *testing.B) {
+	sys := benchSystem(b, 1000)
+	st, err := snapstore.Open(b.TempDir(), snapstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sys.Manager.FusedGraph(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Manager.SaveSnapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,7 +1,7 @@
 // Command annoda-bench regenerates every table and figure of the ANNODA
 // paper (and the quantitative experiments attached to them) from the live
 // implementations in this repository. Run with no flags for everything, or
-// -exp E5 for one experiment (E1..E16). See EXPERIMENTS.md for the index.
+// -exp E5 for one experiment (E1..E17). See EXPERIMENTS.md for the index.
 package main
 
 import (
@@ -23,13 +23,14 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/navigate"
 	"repro/internal/oem"
+	"repro/internal/snapstore"
 	"repro/internal/sources/locuslink"
 	"repro/internal/warehouse"
 	"repro/internal/wrapper"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E16) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E17) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	flag.Parse()
@@ -46,10 +47,10 @@ func main() {
 	runners := map[string]func(*datagen.Corpus, *core.System){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
-		"E13": e13, "E14": e14, "E15": e15, "E16": e16,
+		"E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -817,4 +818,96 @@ func e16(c *datagen.Corpus, sys *core.System) {
 
 func indent(s string) string {
 	return strings.ReplaceAll(s, "\n", "\n    ")
+}
+
+// E17 — the durable snapshot store: warm restore vs cold fetch+fuse, plus
+// the WAL's cost under refresh churn.
+func e17(c *datagen.Corpus, sys *core.System) {
+	const rounds = 3
+	dir, err := os.MkdirTemp("", "annoda-snapstore-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Prime: fuse once, checkpoint into the store.
+	st, err := snapstore.Open(dir, snapstore.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+		fatal(err)
+	}
+	save, err := sys.Manager.SaveSnapshot()
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		fatal(err)
+	}
+
+	// Cold restarts: rebuilt wrapper models + full fetch+fuse.
+	var coldTime time.Duration
+	for r := 0; r < rounds; r++ {
+		for _, w := range sys.Registry.All() {
+			w.Refresh()
+		}
+		t0 := time.Now()
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{})
+		if _, _, err := m.FusedGraph(); err != nil {
+			fatal(err)
+		}
+		coldTime += time.Since(t0)
+	}
+
+	// Warm restarts: decode the checkpoint, replay the (empty) WAL.
+	var warmTime time.Duration
+	var restored *mediator.RestoreResult
+	var warmWorld string
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		m := mediator.New(sys.Registry, sys.Global, mediator.Options{})
+		st, err := snapstore.Open(dir, snapstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+			fatal(err)
+		}
+		rr, err := m.LoadSnapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if !rr.Restored {
+			fatal(fmt.Errorf("restore fell back: %+v", rr))
+		}
+		warmTime += time.Since(t0)
+		restored = rr
+		if r == 0 {
+			g, _, err := m.FusedGraph()
+			if err != nil {
+				fatal(err)
+			}
+			warmWorld = oem.CanonicalText(g, "ANNODA-GML", g.Root("ANNODA-GML"))
+		}
+		st.Close()
+	}
+	// Parity: the restored world is byte-identical to a cold fusion.
+	plain := mediator.New(sys.Registry, sys.Global, mediator.Options{})
+	g, _, err := plain.FusedGraph()
+	if err != nil {
+		fatal(err)
+	}
+	coldWorld := oem.CanonicalText(g, "ANNODA-GML", g.Root("ANNODA-GML"))
+
+	fmt.Printf("corpus: %d genes; checkpoint seq %d, %d bytes (written in %v)\n\n",
+		len(c.Genes), save.Seq, save.Bytes, save.Took.Round(time.Millisecond))
+	fmt.Printf("%-34s %v\n", "cold restart (fetch+fuse):", (coldTime / rounds).Round(time.Microsecond))
+	fmt.Printf("%-34s %v\n", "warm restart (restore-from-disk):", (warmTime / rounds).Round(time.Microsecond))
+	if warmTime > 0 {
+		fmt.Printf("speedup (cold/warm): %.1fx\n", float64(coldTime)/float64(warmTime))
+	}
+	fmt.Printf("restored: %d objects, %d genes, %d WAL records replayed\n",
+		restored.Objects, restored.Genes, restored.WALReplayed)
+	fmt.Printf("restored world byte-identical to cold fusion: %v\n", warmWorld == coldWorld)
 }

@@ -11,8 +11,10 @@
 //	/api/object  the object view as JSON
 //	/api/refresh POST {"source": ...}: refresh one source via the delta
 //	             subsystem (or "warehouse" for the GUS-style ETL)
+//	/api/admin/checkpoint  POST: write a durable snapshot checkpoint now
+//	             (requires -data-dir)
 //	/healthz     liveness probe
-//	/statsz      request, cache, delta and warehouse counters
+//	/statsz      request, cache, delta, persistence and warehouse counters
 //
 // Every request runs under a timeout and panic recovery; repeated questions
 // are answered from the mediator's sharded result cache (disable with
@@ -22,6 +24,14 @@
 // "localhost:6060") so lock-contention and CPU claims about the serving
 // path are profileable in production without exposing the profiler on the
 // public listener. Off by default.
+//
+// -data-dir DIR enables the durable snapshot store: on boot the server
+// restores the fused annotation world from the newest valid checkpoint
+// (replaying its delta WAL) instead of fetching and fusing every source;
+// while serving, each incremental refresh is appended to the WAL and
+// folded into a fresh checkpoint per the auto-checkpoint policy; on
+// graceful shutdown a final checkpoint is flushed. See DESIGN.md
+// "Persistence".
 //
 // Start it and open http://localhost:8077/ — submitting the default form
 // reproduces the paper's running example.
@@ -46,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/mediator"
+	"repro/internal/snapstore"
 	"repro/internal/warehouse"
 )
 
@@ -67,6 +78,9 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry)")
 	noCache := flag.Bool("nocache", false, "disable the result cache")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	dataDir := flag.String("data-dir", "", "durable snapshot store directory: restore-on-boot, per-refresh WAL, checkpoint on shutdown (empty = memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "auto-checkpoint after this many WAL records (0 = default)")
+	fsyncWAL := flag.Bool("fsync-wal", false, "fsync the delta WAL on every append (durable refreshes at the cost of append latency)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -94,6 +108,31 @@ func main() {
 	}
 	if err := sys.PlugInProteins(); err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		st, err := snapstore.Open(*dataDir, snapstore.Options{Sync: *fsyncWAL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{EveryRecords: *ckptEvery}); err != nil {
+			log.Fatal(err)
+		}
+		rr, err := sys.Manager.LoadSnapshot()
+		switch {
+		case err != nil:
+			// The store is unusable (I/O, permissions); serve cold rather
+			// than refuse to start — persistence is an accelerator, not a
+			// dependency.
+			log.Printf("snapshot restore failed (%v); serving cold", err)
+		case rr.Restored:
+			log.Printf("restored snapshot seq %d from %s: %d objects, %d genes, %d WAL records replayed in %v (%d ladder fallbacks)",
+				rr.Seq, *dataDir, rr.Objects, rr.Genes, rr.WALReplayed, rr.Took.Round(time.Millisecond), rr.Fallbacks)
+			if rr.WALTruncated {
+				log.Printf("WARNING: the restored WAL had a torn or corrupt tail; refreshes after the last valid record were dropped")
+			}
+		default:
+			log.Printf("no restorable snapshot in %s (%s); cold start", *dataDir, rr.Reason)
+		}
 	}
 	// The GUS-style warehouse rides along for the architecture comparison:
 	// POST /api/refresh {"source":"warehouse"} runs its ETL, and /statsz
@@ -126,6 +165,14 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		// Final flush: fold anything the store does not yet reflect into a
+		// checkpoint, so the next boot warm-starts from the exact world
+		// this process was serving. A clean store is a no-op.
+		if res, saved, err := sys.Manager.FlushSnapshot(); err != nil {
+			log.Printf("final snapshot flush: %v", err)
+		} else if saved {
+			log.Printf("final snapshot flushed: seq %d, %d bytes in %v", res.Seq, res.Bytes, res.Took.Round(time.Millisecond))
 		}
 	}
 }

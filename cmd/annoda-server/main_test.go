@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/mediator"
+	"repro/internal/snapstore"
 	"repro/internal/sources/locuslink"
 	"repro/internal/warehouse"
 )
@@ -690,5 +691,130 @@ func TestStatszEpochCounters(t *testing.T) {
 	}
 	if resp.Delta.EpochsPublished != resp.Epoch.Published || resp.Delta.EpochPins != resp.Epoch.Pins {
 		t.Errorf("delta epoch counters diverge from epoch block: %+v vs %+v", resp.Delta, resp.Epoch)
+	}
+}
+
+// persistedSystem builds a fresh System with the durable snapshot store
+// attached — the handler-level equivalent of starting with -data-dir.
+func persistedSystem(t *testing.T, dir string) *core.System {
+	t.Helper()
+	sys := freshSystem(t)
+	st, err := snapstore.Open(dir, snapstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAPICheckpointWithoutPersistence(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	rec := postJSON(t, h, "/api/admin/checkpoint", "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("checkpoint without -data-dir = %d, want 409", rec.Code)
+	}
+}
+
+func TestAPICheckpointAndWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	sys := persistedSystem(t, dir)
+	h := newMux(sys, nil, 0)
+
+	// An answer computed cold, and a checkpoint of the world behind it.
+	cold := get(t, h, "/api/query?q="+url.QueryEscape(
+		`select G.Symbol from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`))
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold query = %d: %s", cold.Code, cold.Body)
+	}
+	rec := postJSON(t, h, "/api/admin/checkpoint", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/admin/checkpoint = %d: %s", rec.Code, rec.Body)
+	}
+	var ck struct {
+		Seq     uint64 `json:"seq"`
+		Bytes   int    `json:"bytes"`
+		Persist struct {
+			Checkpoints int64 `json:"checkpoints"`
+		} `json:"persist"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Seq != 1 || ck.Bytes == 0 || ck.Persist.Checkpoints != 1 {
+		t.Fatalf("checkpoint response %+v", ck)
+	}
+	if rec := get(t, h, "/api/admin/checkpoint"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /api/admin/checkpoint = %d, want 405", rec.Code)
+	}
+
+	// "Restart": a fresh System over the same corpus shape restores from
+	// the store and answers identically through the API.
+	sys2 := persistedSystem(t, dir)
+	rr, err := sys2.Manager.LoadSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Restored {
+		t.Fatalf("boot restore fell back: %+v", rr)
+	}
+	h2 := newMux(sys2, nil, 0)
+	warm := get(t, h2, "/api/query?q="+url.QueryEscape(
+		`select G.Symbol from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`))
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm query = %d: %s", warm.Code, warm.Body)
+	}
+	var coldResp, warmResp struct {
+		Answers int    `json:"answers"`
+		Text    string `json:"text"`
+		Stats   struct {
+			SnapshotUsed bool `json:"snapshot_used"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(cold.Body.Bytes(), &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warm.Body.Bytes(), &warmResp); err != nil {
+		t.Fatal(err)
+	}
+	if warmResp.Answers != coldResp.Answers || warmResp.Text != coldResp.Text {
+		t.Errorf("warm-restart answer diverges from cold answer (%d vs %d answers)",
+			warmResp.Answers, coldResp.Answers)
+	}
+	if !warmResp.Stats.SnapshotUsed {
+		t.Error("warm query did not take the snapshot path")
+	}
+
+	// The persistence counters surface in /statsz.
+	st := get(t, h2, "/statsz")
+	var statsResp struct {
+		Persist *struct {
+			Restores    int64 `json:"restores"`
+			WALReplayed int64 `json:"wal_replayed"`
+		} `json:"persist"`
+	}
+	if err := json.Unmarshal(st.Body.Bytes(), &statsResp); err != nil {
+		t.Fatal(err)
+	}
+	if statsResp.Persist == nil || statsResp.Persist.Restores != 1 {
+		t.Errorf("statsz persist block = %+v, want 1 restore", statsResp.Persist)
+	}
+}
+
+func TestStatszPersistNullWithoutStore(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	rec := get(t, h, "/statsz")
+	var resp map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := resp["persist"]
+	if !ok {
+		t.Fatal("statsz has no persist key")
+	}
+	if string(raw) != "null" {
+		t.Errorf("persist = %s without a store, want null", raw)
 	}
 }

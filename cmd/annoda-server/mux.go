@@ -47,6 +47,7 @@ func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) ht
 	mux.HandleFunc("/api/batch", s.apiBatch)
 	mux.HandleFunc("/api/object", s.apiObject)
 	mux.HandleFunc("/api/refresh", s.apiRefresh)
+	mux.HandleFunc("/api/admin/checkpoint", s.apiCheckpoint)
 	// Operational endpoints.
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/statsz", s.statsz)
@@ -454,6 +455,61 @@ type whJSON struct {
 	Archives []string `json:"archives"`
 }
 
+type persistJSON struct {
+	Checkpoints       int64 `json:"checkpoints"`
+	CheckpointBytes   int64 `json:"checkpoint_bytes"`
+	WALAppended       int64 `json:"wal_appended"`
+	WALReplayed       int64 `json:"wal_replayed"`
+	Restores          int64 `json:"restores"`
+	RestoreFallbacks  int64 `json:"restore_fallbacks"`
+	Errors            int64 `json:"errors"`
+	LastRestoreMicros int64 `json:"last_restore_micros"`
+}
+
+func persistCountersJSON(pc mediator.PersistCounters) persistJSON {
+	return persistJSON{
+		Checkpoints:       pc.CheckpointsWritten,
+		CheckpointBytes:   pc.CheckpointBytes,
+		WALAppended:       pc.WALAppended,
+		WALReplayed:       pc.WALReplayed,
+		Restores:          pc.Restores,
+		RestoreFallbacks:  pc.RestoreFallbacks,
+		Errors:            pc.Errors,
+		LastRestoreMicros: pc.LastRestore.Microseconds(),
+	}
+}
+
+type checkpointResponse struct {
+	Seq        uint64      `json:"seq"`
+	Bytes      int         `json:"bytes"`
+	TookMicros int64       `json:"took_micros"`
+	Persist    persistJSON `json:"persist"`
+}
+
+// apiCheckpoint writes a durable snapshot checkpoint on demand: POST with
+// an empty body. 409 when the server runs without -data-dir.
+func (s *server) apiCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	if _, ok := s.sys.Manager.PersistCounters(); !ok {
+		jsonError(w, http.StatusConflict, "persistence not enabled (start the server with -data-dir)")
+		return
+	}
+	res, err := s.sys.Manager.SaveSnapshot()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	pc, _ := s.sys.Manager.PersistCounters()
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Seq:        res.Seq,
+		Bytes:      res.Bytes,
+		TookMicros: res.Took.Microseconds(),
+		Persist:    persistCountersJSON(pc),
+	})
+}
+
 func deltaCountersJSON(dc mediator.DeltaCounters) deltaJSON {
 	return deltaJSON{
 		Applied:         dc.DeltasApplied,
@@ -577,6 +633,11 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	dc := s.sys.Manager.DeltaCounters()
 	resp["epoch"] = map[string]int64{"published": dc.EpochsPublished, "pins": dc.EpochPins}
 	resp["delta"] = deltaCountersJSON(dc)
+	if pc, ok := s.sys.Manager.PersistCounters(); ok {
+		resp["persist"] = persistCountersJSON(pc)
+	} else {
+		resp["persist"] = nil
+	}
 	if s.wh != nil {
 		resp["warehouse"] = whJSON{Loads: s.wh.Loads(), Archives: s.wh.Archives()}
 	} else {

@@ -14,12 +14,15 @@
 //	show <url>                 individual object view for a web-link (5(c))
 //	sql <query>                DiscoveryLink-style SQL against nicknames
 //	table1                     regenerate the paper's Table 1
+//	snapshot save              write a durable snapshot checkpoint to -data-dir
+//	snapshot info              inspect the newest restorable checkpoint in -data-dir
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -28,6 +31,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/fedsql"
 	"repro/internal/mediator"
+	"repro/internal/snapstore"
 	"repro/internal/warehouse"
 	"repro/internal/wrapper"
 )
@@ -37,11 +41,21 @@ func main() {
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	policy := flag.String("policy", "prefer-primary", "reconciliation policy: prefer-primary|majority|union")
 	protdb := flag.Bool("protdb", false, "plug the protein source in at startup")
+	dataDir := flag.String("data-dir", "", "durable snapshot store directory (snapshot subcommands)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// `snapshot info` reads the store directly — no corpus, no system, no
+	// source fetch; an operator can point it at any data dir.
+	if args[0] == "snapshot" && len(args) > 1 && args[1] == "info" {
+		if err := snapshotInfo(*dataDir); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	cfg := datagen.DefaultConfig()
@@ -150,9 +164,90 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(capability.Format(rows))
+	case "snapshot":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: annoda -data-dir DIR snapshot save|info"))
+		}
+		switch args[1] {
+		case "save":
+			if err := snapshotSave(sys, *dataDir); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown snapshot subcommand %q (want save or info)", args[1]))
+		}
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q", args[0]))
 	}
+}
+
+// snapshotSave builds the fused world (if not already built) and writes a
+// checkpoint — the operational "prime the warm-restart store" verb. The
+// checkpoint records the source set it was fused from, and restore rejects
+// a mismatch: to prime a store for annoda-server (which always plugs the
+// protein source in), pass -protdb.
+func snapshotSave(sys *core.System, dataDir string) error {
+	if dataDir == "" {
+		return fmt.Errorf("snapshot save needs -data-dir")
+	}
+	st, err := snapstore.Open(dataDir, snapstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if err := sys.Manager.EnablePersistence(st, mediator.PersistPolicy{}); err != nil {
+		return err
+	}
+	// No restore first: the point of `snapshot save` is to checkpoint the
+	// world fused from the *current* corpus flags, not to rewrite the old
+	// one (EnablePersistence already continued the store's sequence).
+	res, err := sys.Manager.SaveSnapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint seq %d written to %s: %d bytes in %v\n",
+		res.Seq, dataDir, res.Bytes, res.Took)
+	return nil
+}
+
+// snapshotInfo prints the newest restorable checkpoint's vitals.
+func snapshotInfo(dataDir string) error {
+	if dataDir == "" {
+		return fmt.Errorf("snapshot info needs -data-dir")
+	}
+	st, err := snapstore.Open(dataDir, snapstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	info, err := mediator.SnapshotInfo(st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store:         %s\n", dataDir)
+	fmt.Printf("checkpoint:    seq %d (%d bytes, container format v%d)\n", info.Seq, info.PayloadBytes, snapstore.FormatVersion)
+	if info.Skipped > 0 {
+		fmt.Printf("skipped:       %d newer unrestorable checkpoint(s)\n", info.Skipped)
+	}
+	fmt.Printf("fingerprint:   %016x\n", info.Fingerprint)
+	fmt.Printf("policy:        %v\n", info.Policy)
+	fmt.Printf("fused genes:   %d\n", info.Genes)
+	fmt.Printf("graph objects: %d\n", info.Objects)
+	fmt.Printf("conflicts:     %d\n", info.Conflicts)
+	srcs := make([]string, 0, len(info.Entities))
+	for s := range info.Entities {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	for _, s := range srcs {
+		fmt.Printf("  %-12s %d entities\n", s, info.Entities[s])
+	}
+	if info.WALTruncated {
+		fmt.Printf("wal:           %d records (+ torn tail that restore will drop)\n", info.WALRecords)
+	} else {
+		fmt.Printf("wal:           %d records\n", info.WALRecords)
+	}
+	return nil
 }
 
 // parseQuestion turns "include=GO exclude=OMIM combine=any cond=Organism=Homo sapiens"

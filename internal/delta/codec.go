@@ -1,0 +1,116 @@
+package delta
+
+// Binary codec for ChangeSets — the WAL record format of the durable
+// snapshot store. A serialized ChangeSet must be self-contained: replaying
+// it at boot happens before (and instead of) any source fetch, so the
+// subtrees of upserted entities travel with the record. Encode prunes the
+// new model down to exactly those subtrees (a refresh that touched 1% of a
+// source serializes 1% of it, not the whole model), remapping the upsert
+// oids into the pruned graph; structural hashes are oid-free, so they
+// survive the remap unchanged.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/oem"
+	"repro/internal/wire"
+)
+
+var changeSetMagic = [4]byte{'D', 'C', 'S', 'B'}
+
+// ChangeSetCodecVersion is the ChangeSet wire format version; decoders
+// reject anything else so a future format degrades to a restore fallback,
+// never a misread.
+const ChangeSetCodecVersion = 1
+
+// EncodeChangeSet writes a self-contained binary form of cs.
+func EncodeChangeSet(w io.Writer, cs *ChangeSet) error {
+	// Prune: import each upserted entity's subtree into a fresh graph,
+	// recording the remapped oid. Deletions carry only hashes and need no
+	// graph support.
+	pruned := oem.NewGraph()
+	upserts := make([]Change, len(cs.Upserted))
+	for i, u := range cs.Upserted {
+		nid, err := pruned.Import(cs.Graph, u.OID)
+		if err != nil {
+			return fmt.Errorf("delta: encode: %v", err)
+		}
+		upserts[i] = Change{OID: nid, Hash: u.Hash}
+	}
+
+	e := wire.NewEncoder(w)
+	e.Raw(changeSetMagic[:])
+	e.U8(ChangeSetCodecVersion)
+	e.Str(cs.Source)
+	e.Str(cs.Entity)
+	e.Uvarint(cs.FromVersion)
+	e.Uvarint(cs.ToVersion)
+	e.Uvarint(uint64(cs.Total))
+	e.Uvarint(uint64(len(upserts)))
+	for _, u := range upserts {
+		e.Uvarint(uint64(u.OID))
+		e.U64(u.Hash)
+	}
+	e.Uvarint(uint64(len(cs.Deleted)))
+	for _, d := range cs.Deleted {
+		e.U64(d.Hash)
+	}
+	if err := e.Flush(); err != nil {
+		return fmt.Errorf("delta: encode: %v", err)
+	}
+	if err := oem.EncodeBinary(w, pruned); err != nil {
+		return fmt.Errorf("delta: encode: %v", err)
+	}
+	return nil
+}
+
+// DecodeChangeSet reads a ChangeSet written by EncodeChangeSet. The
+// returned set's Graph is the pruned upsert graph; its Upserted oids
+// resolve in it, exactly as consumers of a live ChangeSet expect.
+func DecodeChangeSet(r io.Reader) (*ChangeSet, error) {
+	d := wire.NewDecoder(r)
+	var magic [4]byte
+	d.Raw(magic[:])
+	if d.Err() == nil && magic != changeSetMagic {
+		return nil, fmt.Errorf("delta: decode: bad magic %q", magic[:])
+	}
+	if v := d.U8(); d.Err() == nil && v != ChangeSetCodecVersion {
+		return nil, fmt.Errorf("delta: decode: unknown format version %d (have %d)", v, ChangeSetCodecVersion)
+	}
+	cs := &ChangeSet{}
+	cs.Source = d.Str()
+	cs.Entity = d.Str()
+	cs.FromVersion = d.Uvarint()
+	cs.ToVersion = d.Uvarint()
+	cs.Total = int(d.Uvarint())
+	nUp := d.Uvarint()
+	for i := uint64(0); i < nUp && d.Err() == nil; i++ {
+		id := oem.OID(d.Uvarint())
+		h := d.U64()
+		cs.Upserted = append(cs.Upserted, Change{OID: id, Hash: h})
+	}
+	nDel := d.Uvarint()
+	for i := uint64(0); i < nDel && d.Err() == nil; i++ {
+		cs.Deleted = append(cs.Deleted, Change{Hash: d.U64()})
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("delta: decode: %v", err)
+	}
+	// The graph is the trailing section; hand the decoder's buffer over so
+	// no byte is lost to read-ahead.
+	g, err := oem.DecodeBinary(d.Reader())
+	if err != nil {
+		return nil, fmt.Errorf("delta: decode: %v", err)
+	}
+	cs.Graph = g
+	// Every upsert oid must resolve in the pruned graph; a dangling one
+	// means the record is corrupt in a way the CRC could not see (or was
+	// assembled by a buggy writer) and must not reach the patch path.
+	for _, u := range cs.Upserted {
+		if g.Get(u.OID) == nil {
+			return nil, fmt.Errorf("delta: decode: upsert oid %v not present in pruned graph", u.OID)
+		}
+	}
+	return cs, nil
+}

@@ -1,0 +1,126 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/oem"
+)
+
+// codecModel builds a small source model: root -> Entry* entities.
+func codecModel(descs []string) *oem.Graph {
+	g := oem.NewGraph()
+	root := g.NewComplex()
+	g.SetRoot("SRC", root)
+	for i, d := range descs {
+		e := g.NewComplex(
+			oem.Ref{Label: "ID", Target: g.NewInt(int64(i))},
+			oem.Ref{Label: "Description", Target: g.NewString(d)},
+		)
+		g.AddRef(root, "Entry", e)
+	}
+	return g
+}
+
+func TestChangeSetCodecRoundTrip(t *testing.T) {
+	old := codecModel([]string{"alpha", "beta", "gamma"})
+	new := codecModel([]string{"alpha", "beta prime", "gamma", "delta"})
+	cs, err := Diff(old, new, "SRC", "Entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Upserted) == 0 || len(cs.Deleted) == 0 {
+		t.Fatalf("diff shape: %d upserts, %d deletes", len(cs.Upserted), len(cs.Deleted))
+	}
+	cs.FromVersion, cs.ToVersion = 3, 4
+
+	var buf bytes.Buffer
+	if err := EncodeChangeSet(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChangeSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != cs.Source || got.Entity != cs.Entity ||
+		got.FromVersion != cs.FromVersion || got.ToVersion != cs.ToVersion ||
+		got.Total != cs.Total {
+		t.Fatalf("header fields: %+v vs %+v", got, cs)
+	}
+	if len(got.Upserted) != len(cs.Upserted) || len(got.Deleted) != len(cs.Deleted) {
+		t.Fatalf("change counts: %d/%d vs %d/%d",
+			len(got.Upserted), len(got.Deleted), len(cs.Upserted), len(cs.Deleted))
+	}
+	for i, u := range got.Upserted {
+		if u.Hash != cs.Upserted[i].Hash {
+			t.Fatalf("upsert %d hash changed", i)
+		}
+		// The pruned subtree must be structurally identical to the original
+		// upsert — and must re-hash to the recorded fingerprint, which is
+		// what replay-time bookkeeping keys on.
+		if !oem.DeepEqual(got.Graph, u.OID, cs.Graph, cs.Upserted[i].OID) {
+			t.Fatalf("upsert %d subtree differs after round trip", i)
+		}
+		if h := HashEntity(got.Graph, u.OID); h != u.Hash {
+			t.Fatalf("upsert %d: decoded subtree hashes to %x, recorded %x", i, h, u.Hash)
+		}
+	}
+	for i, d := range got.Deleted {
+		if d.Hash != cs.Deleted[i].Hash {
+			t.Fatalf("delete %d hash changed", i)
+		}
+	}
+	// Pruned: only the upsert subtrees travel, not the whole model.
+	if got.Graph.Len() >= new.Len() {
+		t.Fatalf("pruned graph has %d objects, full model %d — nothing was pruned",
+			got.Graph.Len(), new.Len())
+	}
+}
+
+func TestChangeSetCodecEmpty(t *testing.T) {
+	m := codecModel([]string{"a"})
+	cs, err := Diff(m, m, "SRC", "Entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Empty() {
+		t.Fatal("self-diff not empty")
+	}
+	var buf bytes.Buffer
+	if err := EncodeChangeSet(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChangeSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() || got.Total != cs.Total {
+		t.Fatalf("empty set round trip: %+v", got)
+	}
+}
+
+func TestChangeSetCodecRejectsGarbage(t *testing.T) {
+	old := codecModel([]string{"x"})
+	new := codecModel([]string{"y"})
+	cs, err := Diff(old, new, "SRC", "Entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeChangeSet(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := DecodeChangeSet(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Error("truncated record decoded")
+	}
+	if _, err := DecodeChangeSet(bytes.NewReader(append([]byte("ZZZZ"), data[4:]...))); err == nil {
+		t.Error("bad magic decoded")
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = ChangeSetCodecVersion + 1
+	if _, err := DecodeChangeSet(bytes.NewReader(bad)); err == nil {
+		t.Error("future version decoded")
+	}
+}

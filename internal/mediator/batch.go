@@ -87,6 +87,7 @@ func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
 	agg.BatchQuestions = len(queries)
 	agg.EvalTime = time.Since(t0)
 	agg.Delta = m.DeltaCounters()
+	agg.Persist = m.persistCountersValue()
 	return answers, agg, nil
 }
 
@@ -121,6 +122,7 @@ func (m *Manager) askOne(ans *BatchAnswer, ep *snapshot) {
 		stats.EvalTime = time.Since(t)
 		stats.SnapshotUsed = true
 		stats.Delta = m.DeltaCounters()
+		stats.Persist = m.persistCountersValue()
 		ans.Result, ans.Stats = res, stats
 		return
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/lorel"
 	"repro/internal/oem"
 	"repro/internal/qcache"
+	"repro/internal/snapstore"
 	"repro/internal/wrapper"
 )
 
@@ -107,6 +108,11 @@ type Stats struct {
 	// entities patched, full-rebuild fallbacks, concept-scoped cache
 	// invalidations). Zero until the first RefreshSource.
 	Delta DeltaCounters
+
+	// Persist is the durable snapshot store's cumulative activity
+	// (checkpoints written, WAL records appended/replayed, restores and
+	// ladder fallbacks). Zero when persistence is disabled.
+	Persist PersistCounters
 }
 
 // String summarizes the stats for explain output.
@@ -148,6 +154,14 @@ func (s *Stats) String() string {
 			s.Delta.DeltasApplied, s.Delta.EntitiesPatched, s.Delta.FullRebuilds, s.Delta.SelectiveInvalidations)
 		if s.Delta.EpochsPublished > 0 || s.Delta.EpochPins > 0 {
 			fmt.Fprintf(&sb, "epochs: published=%d pins=%d\n", s.Delta.EpochsPublished, s.Delta.EpochPins)
+		}
+	}
+	if s.Persist != (PersistCounters{}) {
+		fmt.Fprintf(&sb, "persist: checkpoints=%d (%d bytes) wal-appended=%d wal-replayed=%d restores=%d fallbacks=%d errors=%d\n",
+			s.Persist.CheckpointsWritten, s.Persist.CheckpointBytes, s.Persist.WALAppended,
+			s.Persist.WALReplayed, s.Persist.Restores, s.Persist.RestoreFallbacks, s.Persist.Errors)
+		if s.Persist.Restores > 0 {
+			fmt.Fprintf(&sb, "restore: last took %v\n", s.Persist.LastRestore.Round(time.Microsecond))
 		}
 	}
 	return sb.String()
@@ -210,6 +224,27 @@ type Manager struct {
 	entitiesPatched        atomic.Int64
 	fullRebuilds           atomic.Int64
 	selectiveInvalidations atomic.Int64
+
+	// Durable snapshot store (nil when persistence is disabled; see
+	// persist.go). persistSeq is the newest written/restored checkpoint
+	// sequence; diskEpoch is the epoch the store currently reflects —
+	// FlushSnapshot compares it against the serving epoch to decide
+	// whether a final checkpoint is needed. Both are written under
+	// epochMu.
+	store      *snapstore.Store
+	persistPol PersistPolicy
+	persistSeq atomic.Uint64
+	diskEpoch  atomic.Pointer[snapshot]
+
+	// Persistence counters (see PersistCounters).
+	checkpointsWritten atomic.Int64
+	checkpointBytes    atomic.Int64
+	walAppended        atomic.Int64
+	walReplayed        atomic.Int64
+	persistRestores    atomic.Int64
+	persistFallbacks   atomic.Int64
+	persistErrors      atomic.Int64
+	restoreNanos       atomic.Int64
 }
 
 // SnapshotCounters reports how many computed queries took the fused-snapshot
@@ -411,6 +446,7 @@ func (m *Manager) cachedDo(key string, tags []string, compute func() (any, *Stat
 	stats.CacheHit = outcome != qcache.Miss
 	stats.Cache = m.cache.Counters()
 	stats.Delta = m.DeltaCounters()
+	stats.Persist = m.persistCountersValue()
 	return p.v, stats, nil
 }
 
@@ -649,6 +685,7 @@ func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
 	stats.CacheHit = !built
 	stats.Cache = m.cache.Counters()
 	stats.Delta = m.DeltaCounters()
+	stats.Persist = m.persistCountersValue()
 	return ep.fs.graph, stats, nil
 }
 

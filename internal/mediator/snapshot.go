@@ -972,7 +972,13 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 		if cs.Empty() {
 			// Nothing changed structurally; republish the same immutable
 			// fuse state under the new fingerprint.
-			m.publishLocked(&snapshot{fs: cur.fs, stats: cur.stats, fp: fpAfter})
+			republished := &snapshot{fs: cur.fs, stats: cur.stats, fp: fpAfter}
+			m.publishLocked(republished)
+			// The store still describes this world; advance the marker so
+			// a shutdown flush does not rewrite an identical checkpoint.
+			if m.store != nil && m.diskEpoch.Load() == cur {
+				m.diskEpoch.Store(republished)
+			}
 		} else {
 			nfs := cur.fs.clone()
 			nstats := cur.stats.clone()
@@ -984,7 +990,11 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 				m.epochMu.Unlock()
 				return fullRebuild("snapshot patch failed: " + err.Error())
 			}
-			m.publishLocked(&snapshot{fs: nfs, stats: nstats, fp: fpAfter})
+			published := &snapshot{fs: nfs, stats: nstats, fp: fpAfter}
+			m.publishLocked(published)
+			// Make the delta durable before releasing the writer lock, so
+			// WAL order always matches epoch publication order.
+			m.persistDeltaLocked(cs, cur, published)
 		}
 		rr.Patched = true
 	}

@@ -1,0 +1,330 @@
+package snapstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	st := open(t, t.TempDir())
+	payload := []byte("the integrated annotation world")
+	if err := st.WriteCheckpoint(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := st.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("Checkpoints() = %v, want [1]", seqs)
+	}
+	got, err := st.ReadCheckpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: got %q", got)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	st := open(t, t.TempDir())
+	if err := st.WriteCheckpoint(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("delta one"), []byte("delta two"), {}, []byte("delta four")}
+	for _, r := range recs {
+		if err := st.AppendWAL(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, bytesWritten := st.WALStats()
+	if n != len(recs) {
+		t.Fatalf("WALStats records = %d, want %d", n, len(recs))
+	}
+	if bytesWritten == 0 {
+		t.Fatal("WALStats bytes = 0")
+	}
+	got, truncated, err := st.ReadWAL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("clean WAL reported truncated")
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("ReadWAL returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestAppendWithoutCheckpointFails(t *testing.T) {
+	st := open(t, t.TempDir())
+	if err := st.AppendWAL([]byte("orphan")); err == nil {
+		t.Fatal("AppendWAL without a checkpoint succeeded")
+	}
+}
+
+func TestNewCheckpointResetsWAL(t *testing.T) {
+	st := open(t, t.TempDir())
+	if err := st.WriteCheckpoint(1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendWAL([]byte("old delta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteCheckpoint(2, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.WALStats(); n != 0 {
+		t.Fatalf("WAL not reset after checkpoint: %d records", n)
+	}
+	recs, _, err := st.ReadWAL(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("new WAL has %d records, want 0", len(recs))
+	}
+	// The old checkpoint (and its WAL) survive as the fallback rung.
+	if _, err := st.ReadCheckpoint(1); err != nil {
+		t.Fatalf("previous checkpoint gone: %v", err)
+	}
+	old, _, err := st.ReadWAL(1)
+	if err != nil || len(old) != 1 {
+		t.Fatalf("previous WAL: %d records, err %v", len(old), err)
+	}
+}
+
+func TestPruneKeepsLadder(t *testing.T) {
+	st := open(t, t.TempDir())
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := st.WriteCheckpoint(seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AppendWAL([]byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := st.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != DefaultKeep || seqs[0] != 4 || seqs[1] != 5 {
+		t.Fatalf("after pruning, Checkpoints() = %v, want [4 5]", seqs)
+	}
+	entries, _ := os.ReadDir(st.Dir())
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), walSuffix) &&
+			e.Name() != walName(4) && e.Name() != walName(5) {
+			t.Fatalf("stale WAL survived pruning: %s", e.Name())
+		}
+	}
+}
+
+func corrupt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	payload := bytes.Repeat([]byte("annotation "), 100)
+	if err := st.WriteCheckpoint(7, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointName(7))
+
+	t.Run("bit flip in payload", func(t *testing.T) {
+		corrupt(t, path, checkpointHeaderSize+10)
+		if _, err := st.ReadCheckpoint(7); err == nil || !strings.Contains(err.Error(), "CRC") {
+			t.Fatalf("corrupted payload read back: err=%v", err)
+		}
+		corrupt(t, path, checkpointHeaderSize+10) // restore
+	})
+	t.Run("truncated", func(t *testing.T) {
+		data, _ := os.ReadFile(path)
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.ReadCheckpoint(7); err == nil {
+			t.Fatal("truncated checkpoint read back")
+		}
+		os.WriteFile(path, data, 0o644)
+	})
+	t.Run("unknown version", func(t *testing.T) {
+		data, _ := os.ReadFile(path)
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(bad[8:12], FormatVersion+1)
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.ReadCheckpoint(7); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("future-version checkpoint read back: err=%v", err)
+		}
+		os.WriteFile(path, data, 0o644)
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		corrupt(t, path, 0)
+		if _, err := st.ReadCheckpoint(7); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("bad-magic checkpoint read back: err=%v", err)
+		}
+		corrupt(t, path, 0)
+	})
+	// Intact again after all the restorations.
+	if got, err := st.ReadCheckpoint(7); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("restored checkpoint unreadable: %v", err)
+	}
+}
+
+func TestWALTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	if err := st.WriteCheckpoint(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"one", "two", "three"} {
+		if err := st.AppendWAL([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, walName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half of the last frame is missing.
+	if err := os.WriteFile(path, data[:len(data)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncated, err := st.ReadWAL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if len(recs) != 2 || string(recs[0]) != "one" || string(recs[1]) != "two" {
+		t.Fatalf("valid prefix = %q", recs)
+	}
+	// Re-opening for append truncates the torn tail so new records land
+	// after the valid prefix.
+	if err := st.OpenWAL(1); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.WALStats(); n != 2 {
+		t.Fatalf("reopened WAL reports %d records, want 2", n)
+	}
+	if err := st.AppendWAL([]byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncated, err = st.ReadWAL(1)
+	if err != nil || truncated {
+		t.Fatalf("WAL after reopen+append: truncated=%v err=%v", truncated, err)
+	}
+	want := []string{"one", "two", "four"}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if string(recs[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestWALBadCRCMidFileTruncates(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	if err := st.WriteCheckpoint(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"alpha", "beta", "gamma"} {
+		if err := st.AppendWAL([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte inside the second record's payload.
+	frame1 := int64(walHeaderSize) + frameHeaderSize + 5
+	corrupt(t, filepath.Join(dir, walName(1)), frame1+frameHeaderSize+1)
+	recs, truncated, err := st.ReadWAL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(recs) != 1 || string(recs[0]) != "alpha" {
+		t.Fatalf("got truncated=%v recs=%q, want prefix [alpha]", truncated, recs)
+	}
+}
+
+func TestMissingWALIsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	if err := st.WriteCheckpoint(3, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, walName(3))); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncated, err := st.ReadWAL(3)
+	if err != nil || truncated || len(recs) != 0 {
+		t.Fatalf("missing WAL: recs=%v truncated=%v err=%v", recs, truncated, err)
+	}
+	// OpenWAL recreates it.
+	if err := st.OpenWAL(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendWAL([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTmpLeftoverIgnoredAndPruned(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	// A crash mid-WriteCheckpoint leaves only a temp file.
+	stray := filepath.Join(dir, checkpointName(9)+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := st.Checkpoints()
+	if err != nil || len(seqs) != 0 {
+		t.Fatalf("temp file surfaced as checkpoint: %v, %v", seqs, err)
+	}
+	if err := st.WriteCheckpoint(1, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file not pruned: %v", err)
+	}
+}
