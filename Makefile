@@ -36,10 +36,14 @@ bench:
 # silently between careful runs. The second pass re-runs the E16
 # concurrent-throughput/batch benches under GOMAXPROCS=8 so the lock-free
 # epoch read path sees real goroutine concurrency even on small CI runners.
+# The final line smoke-runs the E18 change-feed experiment through the
+# annoda-bench runner itself (including the -json recorder), so the CLI
+# experiment path can't rot independently of the benchmarks.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='E16_Concurrent|E16_QueriesUnderRefreshChurn|E16_AskBatch' -benchtime=1x -cpu 8 .
 	$(GO) test -run=NONE -bench='E17_Restore1k|E17_DeltaRefreshPersisted1k|E17_RestoreReplay32_1k' -benchtime=1x .
+	$(GO) run ./cmd/annoda-bench -exp E18 -genes 200 -json /dev/null
 
 serve:
 	$(GO) run ./cmd/annoda-server

@@ -6,6 +6,7 @@ package main_test
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/fedsql"
+	"repro/internal/feed"
 	"repro/internal/gml"
 	"repro/internal/lorel"
 	"repro/internal/match"
@@ -1148,6 +1150,148 @@ func BenchmarkE17_CheckpointWrite1k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Manager.SaveSnapshot(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- E18: live change feeds — fan-out, standing queries vs polling --------
+
+// benchmarkE18Fanout: one hub publish delivered to every subscriber, each
+// drained by its own consumer goroutine through the Notify/Next protocol.
+// Measures the full publish-to-consumed path, not just the enqueue.
+func benchmarkE18Fanout(b *testing.B, subs int) {
+	h := feed.NewHub()
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	subscribers := make([]*feed.Subscriber, subs)
+	for i := range subscribers {
+		s := h.Subscribe(feed.Options{Buffer: 256})
+		subscribers[i] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for {
+					if _, ok := s.Next(); !ok {
+						break
+					}
+					consumed.Add(1)
+				}
+				if s.Closed() {
+					return
+				}
+				<-s.Notify()
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Publish(feed.Event{
+			Kind: feed.KindChange, Source: "GO",
+			Concepts: []string{"Annotation"}, Fingerprint: uint64(i + 1),
+		}, nil)
+		for target := int64(subs) * int64(i+1); consumed.Load() < target; {
+			runtime.Gosched()
+			target = int64(subs) * int64(i+1)
+		}
+	}
+	b.StopTimer()
+	for _, s := range subscribers {
+		s.Close()
+	}
+	wg.Wait()
+}
+
+func BenchmarkE18_NotifyFanout100(b *testing.B)  { benchmarkE18Fanout(b, 100) }
+func BenchmarkE18_NotifyFanout1000(b *testing.B) { benchmarkE18Fanout(b, 1000) }
+
+// e18AnswerLocus finds a gene inside the watched query's answer set (GO
+// annotations, no disease, description survives fusion), so a description
+// edit changes the pushed answer every round.
+func e18AnswerLocus(b *testing.B, c *datagen.Corpus) int {
+	b.Helper()
+	diseased := map[int]bool{}
+	for _, d := range c.Diseases {
+		for _, l := range d.Loci {
+			diseased[l] = true
+		}
+	}
+	for i := range c.Genes {
+		if len(c.Genes[i].GoTerms) > 0 && !diseased[c.Genes[i].LocusID] && !c.Genes[i].LLMissingDesc {
+			return c.Genes[i].LocusID
+		}
+	}
+	b.Fatal("corpus has no annotated, disease-free gene")
+	return -1
+}
+
+const e18Query = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+
+// BenchmarkE18_StandingQueryPush: per answer-changing refresh, the standing
+// query re-evaluates inline and pushes the fresh canonical answer into the
+// subscriber queue — the server-side cost of keeping one watcher current.
+func BenchmarkE18_StandingQueryPush(b *testing.B) {
+	sys := benchSystem(b, 1000)
+	if _, _, err := sys.Query(e18Query); err != nil {
+		b.Fatal(err)
+	}
+	sub, err := sys.Manager.SubscribeChanges(feed.Options{Concepts: []string{"NoSuchConcept"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	sq, err := sys.Manager.AddStandingQuery(sub, e18Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sq.Cancel()
+	if _, ok := sub.Next(); !ok {
+		b.Fatal("no baseline answer")
+	}
+	id := e18AnswerLocus(b, sys.Corpus)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := fmt.Sprintf("standing rev %d", i)
+		if err := sys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Manager.RefreshSource("LocusLink"); err != nil {
+			b.Fatal(err)
+		}
+		ev, ok := sub.Next()
+		if !ok || ev.Kind != feed.KindAnswer {
+			b.Fatalf("round %d: no pushed answer (ok=%v kind=%v)", i, ok, ev.Kind)
+		}
+	}
+}
+
+// BenchmarkE18_PollAfterRefresh: the client-side alternative to a standing
+// query — after every refresh, re-run the query and re-canonicalize to see
+// whether the answer changed. Same edits, same refreshes, same output.
+func BenchmarkE18_PollAfterRefresh(b *testing.B) {
+	sys := benchSystem(b, 1000)
+	if _, _, err := sys.Query(e18Query); err != nil {
+		b.Fatal(err)
+	}
+	id := e18AnswerLocus(b, sys.Corpus)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := fmt.Sprintf("poll rev %d", i)
+		if err := sys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Manager.RefreshSource("LocusLink"); err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := sys.Query(e18Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if oem.CanonicalText(res.Graph, "answer", res.Answer) == "" {
+			b.Fatal("empty canonical answer")
 		}
 	}
 }

@@ -1,22 +1,30 @@
 // Command annoda-bench regenerates every table and figure of the ANNODA
 // paper (and the quantitative experiments attached to them) from the live
 // implementations in this repository. Run with no flags for everything, or
-// -exp E5 for one experiment (E1..E17). See EXPERIMENTS.md for the index.
+// -exp E5 for one experiment (E1..E18). See EXPERIMENTS.md for the index.
+//
+// -json FILE additionally writes the headline numbers of the experiments
+// that ran as machine-readable JSON (the BENCH_N.json files committed at
+// the repo root are produced this way).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/capability"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/fedsql"
+	"repro/internal/feed"
 	"repro/internal/gml"
 	"repro/internal/lorel"
 	"repro/internal/match"
@@ -30,9 +38,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E17) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E18) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
+	jsonOut := flag.String("json", "", "write headline numbers as JSON to this file")
 	flag.Parse()
 
 	cfg := datagen.DefaultConfig()
@@ -47,13 +56,14 @@ func main() {
 	runners := map[string]func(*datagen.Corpus, *core.System){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
-		"E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17,
+		"E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17, "E18": e18,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
 			banner(id)
 			runners[id](c, sys)
 		}
+		writeHeadlines(*jsonOut, *genes, *seed)
 		return
 	}
 	run, ok := runners[strings.ToUpper(*exp)]
@@ -62,6 +72,48 @@ func main() {
 	}
 	banner(strings.ToUpper(*exp))
 	run(c, sys)
+	writeHeadlines(*jsonOut, *genes, *seed)
+}
+
+// headlines collects the machine-readable numbers each runner records; the
+// -json flag dumps it at the end of the run. Keys are experiment ids,
+// values flat metric maps (durations in microseconds, marked by suffix).
+var headlines = struct {
+	sync.Mutex
+	m map[string]map[string]any
+}{m: map[string]map[string]any{}}
+
+func record(exp, metric string, value any) {
+	if d, ok := value.(time.Duration); ok {
+		value = d.Microseconds()
+	}
+	headlines.Lock()
+	defer headlines.Unlock()
+	if headlines.m[exp] == nil {
+		headlines.m[exp] = map[string]any{}
+	}
+	headlines.m[exp][metric] = value
+}
+
+func writeHeadlines(path string, genes int, seed uint64) {
+	if path == "" {
+		return
+	}
+	headlines.Lock()
+	defer headlines.Unlock()
+	out := struct {
+		Genes       int                       `json:"genes"`
+		Seed        uint64                    `json:"seed"`
+		Experiments map[string]map[string]any `json:"experiments"`
+	}{Genes: genes, Seed: seed, Experiments: headlines.m}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nheadline numbers written to %s\n", path)
 }
 
 func banner(id string) {
@@ -423,8 +475,9 @@ func e13(c *datagen.Corpus, sys *core.System) {
 			(el / time.Duration(n)).Round(time.Microsecond), cacheCol)
 	}
 	if seq["cached"] > 0 {
-		fmt.Printf("sequential speedup (uncached/cached): %.1fx\n",
-			float64(seq["uncached"])/float64(seq["cached"]))
+		ratio := float64(seq["uncached"]) / float64(seq["cached"])
+		fmt.Printf("sequential speedup (uncached/cached): %.1fx\n", ratio)
+		record("E13", "sequential_speedup_x", ratio)
 	}
 
 	fmt.Printf("\n-- concurrent (%d goroutines) --\n%-10s %-12s %-14s %s\n",
@@ -460,8 +513,9 @@ func e13(c *datagen.Corpus, sys *core.System) {
 			(el / time.Duration(n)).Round(time.Microsecond), cacheCol)
 	}
 	if conc["cached"] > 0 {
-		fmt.Printf("concurrent speedup (uncached/cached): %.1fx\n",
-			float64(conc["uncached"])/float64(conc["cached"]))
+		ratio := float64(conc["uncached"]) / float64(conc["cached"])
+		fmt.Printf("concurrent speedup (uncached/cached): %.1fx\n", ratio)
+		record("E13", "concurrent_speedup_x", ratio)
 	}
 }
 
@@ -622,6 +676,9 @@ func e15(c *datagen.Corpus, sys *core.System) {
 		(fullTime / rounds).Round(time.Microsecond), fullTime.Round(time.Millisecond))
 	if deltaTime > 0 {
 		fmt.Printf("speedup (full/delta): %.1fx\n", float64(fullTime)/float64(deltaTime))
+		record("E15", "refresh_speedup_x", float64(fullTime)/float64(deltaTime))
+		record("E15", "delta_per_round_us", deltaTime/rounds)
+		record("E15", "full_per_round_us", fullTime/rounds)
 	}
 	fmt.Printf("answers agree with full-rebuild ground truth: %v\n", agree)
 	dc := deltaSys.Manager.DeltaCounters()
@@ -756,6 +813,8 @@ func e16(c *datagen.Corpus, sys *core.System) {
 	fmt.Printf("  %-26s %v total, %v/question (%.0f q/s)\n", "epochs, refresh churn",
 		churned.Round(time.Millisecond), (churned / time.Duration(total)).Round(time.Microsecond),
 		float64(total)/churned.Seconds())
+	record("E16", "quiescent_qps", float64(total)/quiet.Seconds())
+	record("E16", "churn_qps", float64(total)/churned.Seconds())
 
 	// (2) Batch vs one-at-a-time.
 	batchQ := make([]string, 64)
@@ -906,8 +965,172 @@ func e17(c *datagen.Corpus, sys *core.System) {
 	fmt.Printf("%-34s %v\n", "warm restart (restore-from-disk):", (warmTime / rounds).Round(time.Microsecond))
 	if warmTime > 0 {
 		fmt.Printf("speedup (cold/warm): %.1fx\n", float64(coldTime)/float64(warmTime))
+		record("E17", "restore_speedup_x", float64(coldTime)/float64(warmTime))
+		record("E17", "cold_restart_us", coldTime/rounds)
+		record("E17", "warm_restart_us", warmTime/rounds)
 	}
 	fmt.Printf("restored: %d objects, %d genes, %d WAL records replayed\n",
 		restored.Objects, restored.Genes, restored.WALReplayed)
 	fmt.Printf("restored world byte-identical to cold fusion: %v\n", warmWorld == coldWorld)
+}
+
+// E18 — live change feeds. Three measurements: (1) hub publish fan-out to
+// 100 and 1000 draining subscribers (publish-to-consumed, not enqueue);
+// (2) a standing query kept current by inline re-evaluation on each
+// answer-changing refresh, vs (3) the polling client it replaces, which
+// re-runs the query and re-canonicalizes after every refresh. The per-round
+// cost is comparable by construction when every change touches the query —
+// the feed's wins are zero poll-interval latency, nothing re-evaluated when
+// the changed concepts don't intersect the query, and sub-millisecond
+// notification fan-out.
+func e18(c *datagen.Corpus, sys *core.System) {
+	// (1) Fan-out: one change event delivered to every subscriber.
+	fanout := func(subs, events int) time.Duration {
+		h := feed.NewHub()
+		var consumed atomic.Int64
+		var wg sync.WaitGroup
+		all := make([]*feed.Subscriber, subs)
+		for i := range all {
+			s := h.Subscribe(feed.Options{Buffer: 256})
+			all[i] = s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					for {
+						if _, ok := s.Next(); !ok {
+							break
+						}
+						consumed.Add(1)
+					}
+					if s.Closed() {
+						return
+					}
+					<-s.Notify()
+				}
+			}()
+		}
+		t0 := time.Now()
+		for i := 0; i < events; i++ {
+			h.Publish(feed.Event{
+				Kind: feed.KindChange, Source: "GO",
+				Concepts: []string{"Annotation"}, Fingerprint: uint64(i + 1),
+			}, nil)
+			for consumed.Load() < int64(subs)*int64(i+1) {
+				runtime.Gosched()
+			}
+		}
+		el := time.Since(t0)
+		for _, s := range all {
+			s.Close()
+		}
+		wg.Wait()
+		return el
+	}
+	const events = 200
+	fmt.Printf("notification fan-out, %d change events, publish-to-consumed:\n", events)
+	for _, subs := range []int{100, 1000} {
+		el := fanout(subs, events)
+		per := el / time.Duration(events)
+		fmt.Printf("  %5d subscribers: %v/event (%.0f deliveries/s)\n",
+			subs, per.Round(time.Microsecond), float64(subs)*float64(events)/el.Seconds())
+		record("E18", fmt.Sprintf("fanout_%d_per_event_us", subs), per)
+	}
+
+	// (2)/(3) Standing query vs poll, identical answer-changing edits.
+	const query = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+	const rounds = 10
+	answerLocus := func() int {
+		diseased := map[int]bool{}
+		for _, d := range c.Diseases {
+			for _, l := range d.Loci {
+				diseased[l] = true
+			}
+		}
+		for i := range c.Genes {
+			if len(c.Genes[i].GoTerms) > 0 && !diseased[c.Genes[i].LocusID] && !c.Genes[i].LLMissingDesc {
+				return c.Genes[i].LocusID
+			}
+		}
+		fatal(fmt.Errorf("corpus has no annotated, disease-free gene"))
+		return -1
+	}
+	mkSys := func() *core.System {
+		s, err := core.New(c, mediator.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if _, _, err := s.Query(query); err != nil {
+			fatal(err)
+		}
+		return s
+	}
+
+	standSys := mkSys()
+	sub, err := standSys.Manager.SubscribeChanges(feed.Options{Concepts: []string{"NoSuchConcept"}})
+	if err != nil {
+		fatal(err)
+	}
+	defer sub.Close()
+	sq, err := standSys.Manager.AddStandingQuery(sub, query)
+	if err != nil {
+		fatal(err)
+	}
+	defer sq.Cancel()
+	if _, ok := sub.Next(); !ok {
+		fatal(fmt.Errorf("no baseline answer pushed"))
+	}
+	id := answerLocus()
+	var standTime time.Duration
+	pushes := 0
+	for r := 0; r < rounds; r++ {
+		rev := fmt.Sprintf("e18 standing %d", r)
+		if err := standSys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := standSys.Manager.RefreshSource("LocusLink"); err != nil {
+			fatal(err)
+		}
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind == feed.KindAnswer {
+				pushes++
+			}
+		}
+		standTime += time.Since(t0)
+	}
+
+	pollSys := mkSys()
+	var pollTime time.Duration
+	for r := 0; r < rounds; r++ {
+		rev := fmt.Sprintf("e18 poll %d", r)
+		if err := pollSys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := pollSys.Manager.RefreshSource("LocusLink"); err != nil {
+			fatal(err)
+		}
+		res, _, err := pollSys.Query(query)
+		if err != nil {
+			fatal(err)
+		}
+		if oem.CanonicalText(res.Graph, "answer", res.Answer) == "" {
+			fatal(fmt.Errorf("empty canonical answer"))
+		}
+		pollTime += time.Since(t0)
+	}
+
+	fmt.Printf("\nkeeping one watcher current over %d answer-changing refreshes:\n", rounds)
+	fmt.Printf("  %-34s %v/round (%d answers pushed)\n", "standing query (inline re-eval):",
+		(standTime / rounds).Round(time.Microsecond), pushes)
+	fmt.Printf("  %-34s %v/round\n", "poll (refresh + re-query + diff):",
+		(pollTime / rounds).Round(time.Microsecond))
+	record("E18", "standing_per_round_us", standTime/rounds)
+	record("E18", "poll_per_round_us", pollTime/rounds)
+	record("E18", "standing_answers_pushed", pushes)
 }

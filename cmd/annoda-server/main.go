@@ -13,6 +13,9 @@
 //	             subsystem (or "warehouse" for the GUS-style ETL)
 //	/api/admin/checkpoint  POST: write a durable snapshot checkpoint now
 //	             (requires -data-dir)
+//	/api/watch   GET: Server-Sent Events stream of change-feed notifications
+//	             (?concepts=, ?query= for standing queries, ?summary=1,
+//	             Last-Event-ID resume); exempt from the request timeout
 //	/healthz     liveness probe
 //	/statsz      request, cache, delta, persistence and warehouse counters
 //
@@ -81,6 +84,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable snapshot store directory: restore-on-boot, per-refresh WAL, checkpoint on shutdown (empty = memory only)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "auto-checkpoint after this many WAL records (0 = default)")
 	fsyncWAL := flag.Bool("fsync-wal", false, "fsync the delta WAL on every append (durable refreshes at the cost of append latency)")
+	watchHeartbeat := flag.Duration("watch-heartbeat", defaultWatchHeartbeat, "/api/watch SSE keep-alive interval")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -141,7 +145,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(sys, wh, *reqTimeout),
+		Handler:           newMuxWatch(sys, wh, *reqTimeout, *watchHeartbeat),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

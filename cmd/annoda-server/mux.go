@@ -31,10 +31,27 @@ const defaultRequestTimeout = 30 * time.Second
 // warehouse whose refresh activity /statsz surfaces (nil disables it).
 // timeout <= 0 selects defaultRequestTimeout.
 func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) http.Handler {
+	return newMuxWatch(sys, wh, timeout, 0)
+}
+
+// newMuxWatch is newMux plus the change-feed heartbeat interval for
+// /api/watch (<= 0 selects defaultWatchHeartbeat).
+//
+// The timeout wrap is route-aware: http.TimeoutHandler's buffered
+// ResponseWriter deliberately drops http.Flusher, so wrapping a streaming
+// route in it would stall every SSE event until the deadline killed the
+// connection. /api/watch therefore hangs off the outer mux, unwrapped —
+// its lifetime is bounded by the client disconnecting (request context)
+// and its liveness by the heartbeat ticker — while every request/response
+// route keeps the hard per-request deadline.
+func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat time.Duration) http.Handler {
 	if timeout <= 0 {
 		timeout = defaultRequestTimeout
 	}
-	s := &server{sys: sys, wh: wh, start: time.Now()}
+	if heartbeat <= 0 {
+		heartbeat = defaultWatchHeartbeat
+	}
+	s := &server{sys: sys, wh: wh, start: time.Now(), heartbeat: heartbeat}
 
 	mux := http.NewServeMux()
 	// HTML views (Figures 5a/5b/5c).
@@ -52,8 +69,11 @@ func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) ht
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/statsz", s.statsz)
 
-	var h http.Handler = mux
-	h = http.TimeoutHandler(h, timeout, "request timed out")
+	outer := http.NewServeMux()
+	outer.HandleFunc("/api/watch", s.apiWatch)
+	outer.Handle("/", http.TimeoutHandler(mux, timeout, "request timed out"))
+
+	var h http.Handler = outer
 	h = s.counting(h)
 	h = recovering(h)
 	return h
@@ -98,11 +118,12 @@ func recovering(next http.Handler) http.Handler {
 }
 
 type server struct {
-	sys      *core.System
-	wh       *warehouse.Warehouse // nil when no warehouse is attached
-	start    time.Time
-	requests atomic.Int64
-	perPath  struct {
+	sys       *core.System
+	wh        *warehouse.Warehouse // nil when no warehouse is attached
+	start     time.Time
+	heartbeat time.Duration // /api/watch SSE keep-alive interval
+	requests  atomic.Int64
+	perPath   struct {
 		mu     sync.Mutex
 		counts map[string]int64
 	}
@@ -463,6 +484,7 @@ type persistJSON struct {
 	Restores          int64 `json:"restores"`
 	RestoreFallbacks  int64 `json:"restore_fallbacks"`
 	Errors            int64 `json:"errors"`
+	PruneFailures     int64 `json:"prune_failures"`
 	LastRestoreMicros int64 `json:"last_restore_micros"`
 }
 
@@ -475,6 +497,7 @@ func persistCountersJSON(pc mediator.PersistCounters) persistJSON {
 		Restores:          pc.Restores,
 		RestoreFallbacks:  pc.RestoreFallbacks,
 		Errors:            pc.Errors,
+		PruneFailures:     pc.PruneFailures,
 		LastRestoreMicros: pc.LastRestore.Microseconds(),
 	}
 }
@@ -637,6 +660,16 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 		resp["persist"] = persistCountersJSON(pc)
 	} else {
 		resp["persist"] = nil
+	}
+	if fc, ok := s.sys.Manager.FeedCounters(); ok {
+		resp["feed"] = map[string]int64{
+			"published": fc.Published, "delivered": fc.Delivered,
+			"dropped": fc.Dropped, "overflows": fc.Overflows,
+			"answers": fc.Answers, "subscribers": fc.Subscribers,
+			"subscribed": fc.Subscribed,
+		}
+	} else {
+		resp["feed"] = nil
 	}
 	if s.wh != nil {
 		resp["warehouse"] = whJSON{Loads: s.wh.Loads(), Archives: s.wh.Archives()}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/feed"
+	"repro/internal/mediator"
+)
+
+// defaultWatchHeartbeat is how often /api/watch emits an SSE comment frame
+// when no events are flowing, so proxies and clients can tell a quiet feed
+// from a dead connection.
+const defaultWatchHeartbeat = 15 * time.Second
+
+// maxWatchBuffer caps the per-subscriber queue a client may request.
+const maxWatchBuffer = 1024
+
+// watchEventJSON is the SSE data payload for one feed event. Fingerprints
+// travel as hex strings (JSON numbers lose precision past 2^53) and the
+// optional gob summary as base64.
+type watchEventJSON struct {
+	Seq         uint64   `json:"seq"`
+	Kind        string   `json:"kind"`
+	Source      string   `json:"source,omitempty"`
+	Concepts    []string `json:"concepts,omitempty"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Upserted    int      `json:"upserted,omitempty"`
+	Deleted     int      `json:"deleted,omitempty"`
+	Summary     string   `json:"summary,omitempty"`
+	Lost        uint64   `json:"lost,omitempty"`
+	Query       string   `json:"query,omitempty"`
+	Answers     int      `json:"answers,omitempty"`
+	Text        string   `json:"text,omitempty"`
+	Initial     bool     `json:"initial,omitempty"`
+}
+
+func watchEvent(ev feed.Event) watchEventJSON {
+	out := watchEventJSON{
+		Seq:      ev.Seq,
+		Kind:     ev.Kind.String(),
+		Source:   ev.Source,
+		Concepts: ev.Concepts,
+		Upserted: ev.Upserted,
+		Deleted:  ev.Deleted,
+		Lost:     ev.Lost,
+		Query:    ev.Query,
+		Answers:  ev.Answers,
+		Text:     ev.Text,
+		Initial:  ev.Initial,
+	}
+	if ev.Fingerprint != 0 {
+		out.Fingerprint = fmt.Sprintf("%016x", ev.Fingerprint)
+	}
+	if len(ev.Summary) > 0 {
+		out.Summary = base64.StdEncoding.EncodeToString(ev.Summary)
+	}
+	return out
+}
+
+// writeSSEEvent frames one event as `id:`/`event:`/`data:` lines. The id is
+// the feed sequence number, so Last-Event-ID resume maps straight onto
+// feed.Options.AfterSeq.
+func writeSSEEvent(w http.ResponseWriter, ev feed.Event) error {
+	data, err := json.Marshal(watchEvent(ev))
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind.String(), data)
+	return err
+}
+
+// apiWatch is GET /api/watch: a Server-Sent Events stream of change-feed
+// notifications. Query parameters:
+//
+//	concepts  comma-separated concept filter (empty = all concepts)
+//	query     Lorel source for a standing query evaluated on matching refreshes
+//	summary   "1"/"true" to include the encoded ChangeSet in change events
+//	buffer    per-subscriber queue length (default feed.DefaultBuffer)
+//	after     resume: replay history after this sequence number
+//
+// A Last-Event-ID request header (the SSE reconnect convention) takes
+// precedence over ?after. This route is deliberately NOT behind
+// http.TimeoutHandler — see newMuxWatch.
+func (s *server) apiWatch(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		jsonError(w, http.StatusInternalServerError, "streaming unsupported by this server configuration")
+		return
+	}
+
+	opts := feed.Options{Buffer: feed.DefaultBuffer}
+	if c := strings.TrimSpace(r.URL.Query().Get("concepts")); c != "" {
+		for _, part := range strings.Split(c, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				opts.Concepts = append(opts.Concepts, part)
+			}
+		}
+	}
+	if b := r.URL.Query().Get("buffer"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 1 || n > maxWatchBuffer {
+			jsonError(w, http.StatusBadRequest, "buffer must be an integer in [1,%d]", maxWatchBuffer)
+			return
+		}
+		opts.Buffer = n
+	}
+	if v := r.URL.Query().Get("summary"); v == "1" || v == "true" {
+		opts.Summary = true
+	}
+	after := r.Header.Get("Last-Event-ID")
+	if after == "" {
+		after = r.URL.Query().Get("after")
+	}
+	if after != "" {
+		seq, err := strconv.ParseUint(after, 10, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "invalid resume sequence %q", after)
+			return
+		}
+		opts.Resume = true
+		opts.AfterSeq = seq
+	}
+
+	sub, err := s.sys.Manager.SubscribeChanges(opts)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, mediator.ErrFeedDisabled) {
+			status = http.StatusConflict
+		}
+		jsonError(w, status, "watch: %v", err)
+		return
+	}
+	defer sub.Close()
+
+	var sq *mediator.StandingQuery
+	if src := strings.TrimSpace(r.URL.Query().Get("query")); src != "" {
+		sq, err = s.sys.Manager.AddStandingQuery(sub, src)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "standing query: %v", err)
+			return
+		}
+		defer sq.Cancel()
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": annoda change feed\n\n")
+	flusher.Flush()
+
+	ticker := time.NewTicker(s.heartbeat)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		wrote := false
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				break
+			}
+			if err := writeSSEEvent(w, ev); err != nil {
+				return
+			}
+			wrote = true
+		}
+		if wrote {
+			flusher.Flush()
+		}
+		if sub.Closed() {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-sub.Notify():
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

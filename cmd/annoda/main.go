@@ -16,6 +16,7 @@
 //	table1                     regenerate the paper's Table 1
 //	snapshot save              write a durable snapshot checkpoint to -data-dir
 //	snapshot info              inspect the newest restorable checkpoint in -data-dir
+//	watch [flags]              follow a running server's change feed (SSE)
 package main
 
 import (
@@ -53,6 +54,14 @@ func main() {
 	// source fetch; an operator can point it at any data dir.
 	if args[0] == "snapshot" && len(args) > 1 && args[1] == "info" {
 		if err := snapshotInfo(*dataDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// `watch` talks to a running server — generating a corpus here would
+	// only slow the subscription down.
+	if args[0] == "watch" {
+		if err := watchCmd(args[1:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -246,6 +255,9 @@ func snapshotInfo(dataDir string) error {
 		fmt.Printf("wal:           %d records (+ torn tail that restore will drop)\n", info.WALRecords)
 	} else {
 		fmt.Printf("wal:           %d records\n", info.WALRecords)
+	}
+	if info.StaleFiles > 0 {
+		fmt.Printf("stale files:   %d (pruning failed; remove them manually to reclaim space)\n", info.StaleFiles)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/delta"
+	"repro/internal/feed"
 	"repro/internal/gml"
 	"repro/internal/lorel"
 	"repro/internal/oem"
@@ -113,6 +114,12 @@ type Stats struct {
 	// (checkpoints written, WAL records appended/replayed, restores and
 	// ladder fallbacks). Zero when persistence is disabled.
 	Persist PersistCounters
+
+	// Feed is the live change-feed hub's cumulative activity (events
+	// published, delivered, dropped to overflow, standing-query answers,
+	// subscriber counts). Zero until the first subscription or refresh
+	// publication; always zero with DisableCache.
+	Feed feed.Counters
 }
 
 // String summarizes the stats for explain output.
@@ -163,6 +170,14 @@ func (s *Stats) String() string {
 		if s.Persist.Restores > 0 {
 			fmt.Fprintf(&sb, "restore: last took %v\n", s.Persist.LastRestore.Round(time.Microsecond))
 		}
+		if s.Persist.PruneFailures > 0 {
+			fmt.Fprintf(&sb, "persist prune failures: %d (stale files accumulating)\n", s.Persist.PruneFailures)
+		}
+	}
+	if s.Feed != (feed.Counters{}) {
+		fmt.Fprintf(&sb, "feed: published=%d delivered=%d dropped=%d overflows=%d answers=%d subscribers=%d\n",
+			s.Feed.Published, s.Feed.Delivered, s.Feed.Dropped, s.Feed.Overflows,
+			s.Feed.Answers, s.Feed.Subscribers)
 	}
 	return sb.String()
 }
@@ -245,6 +260,14 @@ type Manager struct {
 	persistFallbacks   atomic.Int64
 	persistErrors      atomic.Int64
 	restoreNanos       atomic.Int64
+
+	// hub is the live change-feed hub (nil with DisableCache — no epochs,
+	// nothing to notify about); RefreshSource publishes into it under
+	// epochMu so feed order matches epoch publication order. standingQs
+	// holds the registered standing queries (see watch.go).
+	hub        *feed.Hub
+	standingMu sync.Mutex
+	standingQs map[*StandingQuery]struct{}
 }
 
 // SnapshotCounters reports how many computed queries took the fused-snapshot
@@ -272,6 +295,7 @@ func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
 	if !opts.DisableCache {
 		m.cache = qcache.New(opts.CacheSize, opts.CacheTTL)
 		m.plans = qcache.New(opts.CacheSize, 0) // plans never age out
+		m.hub = feed.NewHub()
 	}
 	return m
 }
@@ -447,6 +471,7 @@ func (m *Manager) cachedDo(key string, tags []string, compute func() (any, *Stat
 	stats.Cache = m.cache.Counters()
 	stats.Delta = m.DeltaCounters()
 	stats.Persist = m.persistCountersValue()
+	stats.Feed = m.feedCountersValue()
 	return p.v, stats, nil
 }
 
@@ -686,6 +711,7 @@ func (m *Manager) FusedGraph() (*oem.Graph, *Stats, error) {
 	stats.Cache = m.cache.Counters()
 	stats.Delta = m.DeltaCounters()
 	stats.Persist = m.persistCountersValue()
+	stats.Feed = m.feedCountersValue()
 	return ep.fs.graph, stats, nil
 }
 

@@ -70,6 +70,9 @@ type PersistCounters struct {
 	// Errors counts persistence failures that were absorbed (the in-memory
 	// world keeps serving; the disk state may be stale).
 	Errors int64
+	// PruneFailures counts retention/temp deletions the store could not
+	// perform — stale checkpoints and WALs are accumulating on disk.
+	PruneFailures int64
 	// LastRestore is the wall-clock duration of the most recent successful
 	// restore (decode + WAL replay + publication).
 	LastRestore time.Duration
@@ -121,6 +124,7 @@ func (m *Manager) persistCountersValue() PersistCounters {
 		Restores:           m.persistRestores.Load(),
 		RestoreFallbacks:   m.persistFallbacks.Load(),
 		Errors:             m.persistErrors.Load(),
+		PruneFailures:      m.store.PruneFailures(),
 		LastRestore:        time.Duration(m.restoreNanos.Load()),
 	}
 }
@@ -408,6 +412,10 @@ type SnapshotFileInfo struct {
 	WALTruncated bool
 	// Skipped counts newer checkpoints that failed validation or decode.
 	Skipped int
+	// StaleFiles counts files retention should have removed but which are
+	// still present (failed prunes, leftover temp files) — possibly from
+	// earlier processes.
+	StaleFiles int
 }
 
 // SnapshotInfo inspects a store without a Manager: it walks the recovery
@@ -459,6 +467,9 @@ func SnapshotInfo(st *snapstore.Store) (*SnapshotFileInfo, error) {
 		if err == nil {
 			info.WALRecords = len(recs)
 			info.WALTruncated = truncated
+		}
+		if stale, err := st.StaleFiles(); err == nil {
+			info.StaleFiles = stale
 		}
 		return info, nil
 	}

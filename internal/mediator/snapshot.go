@@ -871,21 +871,6 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	rr := &RefreshResult{Source: name, OldVersion: w.Version()}
 	mp := m.gl.MappingFor(name)
 
-	fullRebuild := func(reason string) (*RefreshResult, error) {
-		rr.FullRebuild = true
-		rr.Reason = reason
-		m.fullRebuilds.Add(1)
-		if m.cache != nil {
-			m.cache.Invalidate()
-			// Publish the post-refresh fingerprint so ensureFresh does not
-			// nuke a second time; losing the CAS to a concurrent refresher
-			// is fine — they nuked for us.
-			m.lastFP.CompareAndSwap(m.lastFP.Load(), m.sourceFingerprint())
-		}
-		rr.Took = time.Since(start)
-		return rr, nil
-	}
-
 	if m.cache == nil || mp == nil {
 		// No cache means no snapshot and nothing to invalidate
 		// selectively; an unmapped source never entered the fused view.
@@ -903,9 +888,47 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	// of reacting to the fingerprint change (ensureFresh would nuke the
 	// whole cache, acquireSnapshot would waste a full rebuild). The
 	// refreshing gate holds them off; the refresh becomes visible when
-	// this function publishes the new fingerprint and returns.
+	// this function publishes the new fingerprint and returns. release is
+	// idempotent so the standing-query paths can drop the gate early —
+	// re-evaluating a standing query needs pinEpoch to see the post-refresh
+	// world, which it refuses to while the gate is up.
 	m.refreshing.Add(1)
-	defer m.refreshing.Add(-1)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			m.refreshing.Add(-1)
+		}
+	}
+	defer release()
+
+	fullRebuild := func(reason string) (*RefreshResult, error) {
+		rr.FullRebuild = true
+		rr.Reason = reason
+		m.fullRebuilds.Add(1)
+		var seq, fp uint64
+		m.epochMu.Lock()
+		m.cache.Invalidate()
+		// Publish the post-refresh fingerprint under the epoch writer
+		// lock. The fingerprint is computed inside the lock, after this
+		// refresh's version bump, so whichever concurrent rebuilder
+		// stores last stores a fingerprint that covers every completed
+		// bump — unlike the old load-then-CAS, which a concurrent
+		// refresher could interleave so that neither fingerprint was
+		// ever published and the next ensureFresh nuked spuriously.
+		fp = m.sourceFingerprint()
+		m.lastFP.Store(fp)
+		// A rebuild invalidates everything, so the feed marker carries
+		// the wildcard concept: every subscriber must resync.
+		seq = m.publishRebuildLocked(name, fp)
+		m.epochMu.Unlock()
+		if seq != 0 {
+			release()
+			m.evalStandingFresh(seq, []string{"*"})
+		}
+		rr.Took = time.Since(start)
+		return rr, nil
+	}
 
 	// The differ needs a baseline for the pre-refresh population. When the
 	// current epoch is fresh it already records every entity's hash — the
@@ -967,6 +990,8 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	// applied to a deep clone, which is frozen and published as the next
 	// epoch. Only an epoch that still describes the pre-refresh world is
 	// patched — patching anything newer would double-apply.
+	var publishedEp *snapshot
+	var feedSeq uint64
 	m.epochMu.Lock()
 	if cur := m.epoch.Load(); cur != nil && cur.fp == fpBefore {
 		if cs.Empty() {
@@ -995,8 +1020,16 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 			// Make the delta durable before releasing the writer lock, so
 			// WAL order always matches epoch publication order.
 			m.persistDeltaLocked(cs, cur, published)
+			publishedEp = published
 		}
 		rr.Patched = true
+	}
+	// Notify feed subscribers inside the same critical section that
+	// published the epoch and appended the WAL record: feed sequence
+	// order == epoch publication order == WAL order, by construction.
+	// Empty deltas touch no concepts and publish no event.
+	if !cs.Empty() {
+		feedSeq = m.publishChangeLocked(cs, mp.Concept, fpAfter)
 	}
 	m.epochMu.Unlock()
 
@@ -1013,6 +1046,21 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 		rr.Invalidated = n
 	}
 	m.lastFP.CompareAndSwap(fpBefore, fpAfter)
+
+	// Re-evaluate the standing queries this refresh's concept touches.
+	// Against the epoch this refresh published when it patched one (the
+	// immutable post-refresh world, evaluated without any lock); when it
+	// did not (the epoch was stale or nil), drop the refreshing gate first
+	// so a fresh pin builds the post-refresh world instead of serving the
+	// old one.
+	if feedSeq != 0 {
+		if publishedEp != nil {
+			m.evalStanding(feedSeq, []string{mp.Concept}, publishedEp)
+		} else {
+			release()
+			m.evalStandingFresh(feedSeq, []string{mp.Concept})
+		}
+	}
 	rr.Took = time.Since(start)
 	return rr, nil
 }

@@ -1,0 +1,279 @@
+package mediator
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/delta"
+	"repro/internal/feed"
+	"repro/internal/lorel"
+	"repro/internal/oem"
+)
+
+// This file is the mediator side of the live change feed (internal/feed):
+// RefreshSource publishes one event per refresh into the hub from inside
+// the same epoch-writer critical section that publishes the snapshot epoch
+// and appends the delta to the WAL, so feed order == epoch publication
+// order == WAL order. Standing queries ride on top: a compiled snapshot-
+// safe plan re-evaluated against the freshly published epoch whenever a
+// refresh touches one of its concepts, pushing an answer only when the
+// answer's canonical text actually changed.
+
+// ErrFeedDisabled reports that the manager runs with DisableCache: without
+// the cache there are no snapshot epochs, hence nothing to subscribe to.
+var ErrFeedDisabled = errors.New("mediator: change feed requires the result cache (manager runs with DisableCache)")
+
+// SubscribeChanges registers a live change-feed subscription (see
+// feed.Options for filtering, buffering, resume). The caller must Close
+// the subscriber when done.
+func (m *Manager) SubscribeChanges(opts feed.Options) (*feed.Subscriber, error) {
+	if m.hub == nil {
+		return nil, ErrFeedDisabled
+	}
+	return m.hub.Subscribe(opts), nil
+}
+
+// FeedCounters snapshots the change-feed hub's cumulative counters; ok is
+// false when the feed is disabled (DisableCache).
+func (m *Manager) FeedCounters() (feed.Counters, bool) {
+	if m.hub == nil {
+		return feed.Counters{}, false
+	}
+	return m.hub.Counters(), true
+}
+
+// FeedSeq returns the sequence number of the most recently published feed
+// event — the value a caller passes back as AfterSeq (or Last-Event-ID) to
+// resume from "now". Zero when the feed is disabled or nothing has been
+// published yet.
+func (m *Manager) FeedSeq() uint64 {
+	if m.hub == nil {
+		return 0
+	}
+	return m.hub.Seq()
+}
+
+func (m *Manager) feedCountersValue() feed.Counters {
+	if m.hub == nil {
+		return feed.Counters{}
+	}
+	return m.hub.Counters()
+}
+
+// publishChangeLocked publishes one refresh's ChangeSet into the feed hub.
+// m.epochMu must be held: the hub assigns the sequence number inside the
+// same critical section that published the epoch and appended the WAL
+// record, which is what makes "notification order == publication order ==
+// WAL order" a guarantee rather than a likelihood. The ChangeSet summary
+// is encoded lazily — only when some matching subscriber asked for it —
+// reusing the exact WAL encoding (delta.EncodeChangeSet).
+func (m *Manager) publishChangeLocked(cs *delta.ChangeSet, concept string, fp uint64) uint64 {
+	if m.hub == nil {
+		return 0
+	}
+	return m.hub.Publish(feed.Event{
+		Kind:        feed.KindChange,
+		Source:      cs.Source,
+		Concepts:    []string{concept},
+		Fingerprint: fp,
+		Upserted:    len(cs.Upserted),
+		Deleted:     len(cs.Deleted),
+	}, func() []byte {
+		var buf bytes.Buffer
+		if err := delta.EncodeChangeSet(&buf, cs); err != nil {
+			return nil
+		}
+		return buf.Bytes()
+	})
+}
+
+// publishRebuildLocked publishes a full-rebuild marker: every concept may
+// have changed, so the event carries the wildcard concept and subscribers
+// of any filter receive it. m.epochMu must be held.
+func (m *Manager) publishRebuildLocked(source string, fp uint64) uint64 {
+	if m.hub == nil {
+		return 0
+	}
+	return m.hub.Publish(feed.Event{
+		Kind:        feed.KindRebuild,
+		Source:      source,
+		Concepts:    []string{"*"},
+		Fingerprint: fp,
+	}, nil)
+}
+
+// StandingQuery is a registered continuous query: after every refresh
+// whose touched concepts intersect the query's concept tags, the mediator
+// re-evaluates the compiled plan against the freshly published epoch and
+// pushes a KindAnswer event to the subscriber iff the answer's canonical
+// text changed since the last push. Only snapshot-safe queries are
+// accepted — evaluation is a bare plan.Eval against the pinned epoch, so
+// snapshot safety is exactly the condition under which the pushed answer
+// is byte-identical to a fresh Query on the same world.
+type StandingQuery struct {
+	m     *Manager
+	sub   *feed.Subscriber
+	canon string
+	plan  *lorel.Plan
+	tags  []string
+
+	mu       sync.Mutex
+	started  bool // baseline (or first refresh answer) delivered
+	lastSeq  uint64
+	lastText string
+}
+
+// Query returns the standing query's canonical text.
+func (sq *StandingQuery) Query() string { return sq.canon }
+
+// Cancel unregisters the standing query; no further answers are pushed.
+func (sq *StandingQuery) Cancel() {
+	sq.m.standingMu.Lock()
+	delete(sq.m.standingQs, sq)
+	sq.m.standingMu.Unlock()
+}
+
+// AddStandingQuery parses, analyzes and compiles src as a standing query
+// pushing answers to sub. The query must be snapshot-safe: pushdown or
+// pruning would make the pushed answer diverge from a fresh Query, which
+// would silently break the "answer changed" contract. A baseline answer
+// (Initial: true) is pushed immediately so the subscriber starts from a
+// known state.
+func (m *Manager) AddStandingQuery(sub *feed.Subscriber, src string) (*StandingQuery, error) {
+	if m.hub == nil {
+		return nil, ErrFeedDisabled
+	}
+	q, err := lorel.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	canon := q.String()
+	an, err := m.analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	if !m.snapshotSafe(an, q) {
+		return nil, fmt.Errorf("mediator: standing query %q is not snapshot-safe (it prunes sources or pushes predicates down); only snapshot-evaluable queries can be watched", canon)
+	}
+	plan, err := m.planFor(q, canon)
+	if err != nil {
+		return nil, err
+	}
+	sq := &StandingQuery{m: m, sub: sub, canon: canon, plan: plan, tags: an.cacheTags(m.opts)}
+
+	// Register before the baseline evaluation: a refresh that lands in
+	// between will re-evaluate (and, with its higher sequence, win over
+	// the baseline), so the subscriber never misses the first change.
+	m.standingMu.Lock()
+	if m.standingQs == nil {
+		m.standingQs = map[*StandingQuery]struct{}{}
+	}
+	m.standingQs[sq] = struct{}{}
+	m.standingMu.Unlock()
+
+	seq := m.hub.Seq()
+	ep, _, err := m.pinEpoch()
+	if err != nil {
+		sq.Cancel()
+		return nil, err
+	}
+	res, err := plan.Eval(ep.fs.graph)
+	if err != nil {
+		sq.Cancel()
+		return nil, err
+	}
+	sq.deliver(seq, ep.fp, res, oem.CanonicalText(res.Graph, "answer", res.Answer), true)
+	return sq, nil
+}
+
+// intersects reports whether the standing query's concept tags intersect
+// the touched concepts (either side's "*" matches everything).
+func (sq *StandingQuery) intersects(concepts []string) bool {
+	for _, c := range concepts {
+		for _, t := range sq.tags {
+			if c == "*" || t == "*" || c == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deliver records an evaluation outcome and pushes an answer event when
+// the canonical text changed (or this is the very first answer). Stale
+// evaluations — a refresh that published before one that already
+// delivered — are discarded by sequence number.
+func (sq *StandingQuery) deliver(seq, fp uint64, res *lorel.Result, text string, initial bool) {
+	sq.mu.Lock()
+	if sq.started && seq < sq.lastSeq {
+		sq.mu.Unlock()
+		return
+	}
+	changed := !sq.started || text != sq.lastText
+	sq.started = true
+	sq.lastSeq = seq
+	sq.lastText = text
+	sq.mu.Unlock()
+	if !changed {
+		return
+	}
+	sq.sub.Send(feed.Event{
+		Kind:        feed.KindAnswer,
+		Seq:         seq,
+		Fingerprint: fp,
+		Query:       sq.canon,
+		Answers:     res.Size(),
+		Text:        text,
+		Initial:     initial,
+	})
+}
+
+// standingMatching snapshots the registered standing queries whose tags
+// intersect the touched concepts.
+func (m *Manager) standingMatching(concepts []string) []*StandingQuery {
+	m.standingMu.Lock()
+	defer m.standingMu.Unlock()
+	var out []*StandingQuery
+	for sq := range m.standingQs {
+		if sq.intersects(concepts) {
+			out = append(out, sq)
+		}
+	}
+	return out
+}
+
+// evalStanding re-evaluates the matching standing queries against an
+// already-pinned epoch (the one the triggering refresh just published).
+// Runs outside epochMu: the epoch is immutable, so holding the writer
+// lock during evaluation would serialize refreshes behind query cost for
+// nothing.
+func (m *Manager) evalStanding(seq uint64, concepts []string, ep *snapshot) {
+	for _, sq := range m.standingMatching(concepts) {
+		if res, err := sq.plan.Eval(ep.fs.graph); err == nil {
+			sq.deliver(seq, ep.fp, res, oem.CanonicalText(res.Graph, "answer", res.Answer), false)
+		}
+	}
+}
+
+// evalStandingFresh re-evaluates the matching standing queries against a
+// freshly pinned epoch — the path for refreshes that did not themselves
+// publish one (full rebuilds, stale-epoch deltas). The caller must have
+// released the refreshing gate first, or pinEpoch would keep serving the
+// pre-refresh epoch.
+func (m *Manager) evalStandingFresh(seq uint64, concepts []string) {
+	qs := m.standingMatching(concepts)
+	if len(qs) == 0 {
+		return
+	}
+	ep, _, err := m.pinEpoch()
+	if err != nil {
+		return
+	}
+	for _, sq := range qs {
+		if res, err := sq.plan.Eval(ep.fs.graph); err == nil {
+			sq.deliver(seq, ep.fp, res, oem.CanonicalText(res.Graph, "answer", res.Answer), false)
+		}
+	}
+}

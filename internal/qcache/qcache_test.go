@@ -527,3 +527,52 @@ func TestDefaultShardCount(t *testing.T) {
 		t.Errorf("ShardCount = %d: not a bounded power of two", ShardCount)
 	}
 }
+
+// TestInvalidateTagsFencesInflightAtWatchCadence replays the change-feed
+// publication pattern: a publisher bumps the epoch, invalidates the
+// touched concept tag, then notifies subscribers; readers that saw the
+// notification and re-query through DoTagged must never be served a value
+// computed against an older epoch — neither a stale stored entry nor a
+// stale in-flight compute that the fence should have kept out of the
+// cache. Run under -race.
+func TestInvalidateTagsFencesInflightAtWatchCadence(t *testing.T) {
+	c := New(256, 0)
+	var currentEpoch, notifiedEpoch atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			e := currentEpoch.Add(1)
+			c.InvalidateTags([]string{"Gene"})
+			notifiedEpoch.Store(e)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := notifiedEpoch.Load()
+				v, _, err := c.DoTagged("watched", []string{"Gene"}, func() (any, error) {
+					return currentEpoch.Load(), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := v.(int64); got < n {
+					t.Errorf("stale epoch served after invalidation: got %d, notified %d", got, n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

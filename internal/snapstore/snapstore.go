@@ -35,12 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -102,6 +104,14 @@ type Store struct {
 	walSeq     uint64
 	walRecords int
 	walBytes   int64
+
+	// pruneFailures counts deletions (retention pruning, temp cleanup)
+	// that failed for a reason other than the file already being gone. A
+	// store that cannot delete re-accumulates stale checkpoints and WALs
+	// without bound, so the failure is counted and surfaced instead of
+	// passing silently; warnOnce keeps the log to one WARN line.
+	pruneFailures atomic.Int64
+	warnOnce      sync.Once
 }
 
 // Open creates (if needed) and opens a store directory.
@@ -223,11 +233,11 @@ func (s *Store) WriteCheckpoint(seq uint64, payload []byte) error {
 	final := filepath.Join(s.dir, checkpointName(seq))
 	tmp := final + tmpSuffix
 	if err := writeFileSynced(tmp, header, payload); err != nil {
-		os.Remove(tmp)
+		s.removeCounted(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+		s.removeCounted(tmp)
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	syncDir(s.dir)
@@ -288,15 +298,70 @@ func (s *Store) pruneLocked() {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, tmpSuffix):
-			os.Remove(filepath.Join(s.dir, name))
+			s.removeCounted(filepath.Join(s.dir, name))
 		default:
 			seq, ok := parseSeq(name, "checkpoint-", checkpointSuffix)
 			if !ok {
 				seq, ok = parseSeq(name, "wal-", walSuffix)
 			}
 			if ok && !keep[seq] {
-				os.Remove(filepath.Join(s.dir, name))
+				s.removeCounted(filepath.Join(s.dir, name))
 			}
 		}
 	}
+}
+
+// removeCounted deletes a file the retention policy says must go. A
+// failure (other than the file already being gone) is counted — see
+// PruneFailures — and logged once at WARN.
+func (s *Store) removeCounted(path string) {
+	err := os.Remove(path)
+	if err == nil || os.IsNotExist(err) {
+		return
+	}
+	s.pruneFailures.Add(1)
+	s.warnOnce.Do(func() {
+		log.Printf("WARN: snapstore: prune/cleanup failed (counted from here on, see PruneFailures): %v", err)
+	})
+}
+
+// PruneFailures reports how many prune/cleanup deletions have failed over
+// this store's lifetime. Nonzero means stale checkpoints, WALs or temp
+// files are accumulating in the store directory.
+func (s *Store) PruneFailures() int64 { return s.pruneFailures.Load() }
+
+// StaleFiles counts files in the store directory that pruning should have
+// removed: leftover temp files plus checkpoint/WAL files outside the
+// retention window. A count that stays nonzero across checkpoints means
+// cleanup is failing persistently (see PruneFailures); unlike the
+// counter, it also surfaces failures from previous processes.
+func (s *Store) StaleFiles() (int, error) {
+	seqs, err := s.Checkpoints()
+	if err != nil {
+		return 0, err
+	}
+	keep := make(map[uint64]bool, s.opts.Keep)
+	for i := len(seqs) - 1; i >= 0 && len(keep) < s.opts.Keep; i-- {
+		keep[seqs[i]] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("snapstore: %v", err)
+	}
+	stale := 0
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			stale++
+			continue
+		}
+		seq, ok := parseSeq(name, "checkpoint-", checkpointSuffix)
+		if !ok {
+			seq, ok = parseSeq(name, "wal-", walSuffix)
+		}
+		if ok && !keep[seq] {
+			stale++
+		}
+	}
+	return stale, nil
 }

@@ -328,3 +328,51 @@ func TestTmpLeftoverIgnoredAndPruned(t *testing.T) {
 		t.Fatalf("stray temp file not pruned: %v", err)
 	}
 }
+
+// TestPruneFailureCountedAndSurfaced: a deletion the retention policy
+// cannot perform (here: the prunable name is a non-empty directory, so
+// os.Remove fails) must be counted, never silent, and the stale file must
+// show up in StaleFiles until someone clears it.
+func TestPruneFailureCountedAndSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+
+	// Plant an undeletable obstacle under a prunable WAL name.
+	obstacle := filepath.Join(dir, walName(1))
+	if err := os.MkdirAll(filepath.Join(obstacle, "pin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(obstacle, "pin", "f"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three checkpoints with Keep=2 ⇒ pruning runs and must try (and
+	// fail) to delete wal-…01.
+	for seq := uint64(2); seq <= 4; seq++ {
+		if err := st.WriteCheckpoint(seq, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.PruneFailures() == 0 {
+		t.Fatal("failed deletions were not counted")
+	}
+	stale, err := st.StaleFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != 1 {
+		t.Fatalf("StaleFiles = %d, want 1 (the undeletable WAL)", stale)
+	}
+
+	// A healthy store reports zero on both.
+	st2 := open(t, t.TempDir())
+	if err := st2.WriteCheckpoint(1, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if st2.PruneFailures() != 0 {
+		t.Fatalf("healthy store counted %d prune failures", st2.PruneFailures())
+	}
+	if stale, _ := st2.StaleFiles(); stale != 0 {
+		t.Fatalf("healthy store reports %d stale files", stale)
+	}
+}
