@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: check vet fmt-check build test race bench bench-smoke serve clean
+.PHONY: check vet lint fmt-check build test race fuzz-smoke bench bench-smoke serve clean
 
-# check is the tier-1 gate: formatting, vet, build, and the full test tree
-# under -race.
-check: fmt-check vet build race
+# check is the tier-1 gate: formatting, vet, the project-invariant lint
+# suite, build, and the full test tree under -race.
+check: fmt-check vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the annoda-lint analyzer suite (lock discipline, frozen-graph
+# mutation, sticky errors, codec determinism) over the whole tree. See
+# DESIGN.md "Static analysis" for the rules and the suppression syntax.
+lint:
+	$(GO) run ./cmd/annoda-lint ./...
 
 # fmt-check fails (listing the offenders) when any file needs gofmt.
 fmt-check:
@@ -24,6 +30,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz-smoke gives each codec fuzzer a short budget so decode crashes are
+# caught in CI without a long fuzzing campaign. (go test accepts only one
+# -fuzz pattern per package, hence one invocation per target.)
+fuzz-smoke:
+	$(GO) test ./internal/oem -fuzz FuzzDecodeBinary -fuzztime 10s -run xxx
+	$(GO) test ./internal/delta -fuzz FuzzDecodeChangeSet -fuzztime 10s -run xxx
 
 # bench runs every paper-artifact benchmark a few iterations (smoke), not a
 # statistically careful run. ./... matters: the internal/ packages carry

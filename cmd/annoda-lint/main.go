@@ -1,0 +1,94 @@
+// Command annoda-lint runs the repository's invariant analyzers
+// (lockedcall, frozenmut, criticalerr, nowalltime — see
+// internal/analyzers) over Go packages.
+//
+// Standalone:
+//
+//	annoda-lint ./...          # analyze packages, test files included
+//	annoda-lint -list          # print the suite
+//
+// As a go vet tool (the unitchecker protocol, reimplemented on the
+// standard library because the module is dependency-free):
+//
+//	go vet -vettool=$(which annoda-lint) ./...
+//
+// Findings print as file:line:col: analyzer: message; the exit status is
+// non-zero when any finding survives suppression. A finding is suppressed
+// by a directive comment on its line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annoda-lint: ")
+
+	args := os.Args[1:]
+	// go vet handshakes: tool version for the build cache key, and the
+	// supported-flag list. Both print and exit.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags are passed through go vet.
+			fmt.Println("[]")
+			return
+		}
+	}
+	// go vet invokes the tool with a single *.cfg argument per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		vetMain(args[0])
+		return
+	}
+
+	fs := flag.NewFlagSet("annoda-lint", flag.ExitOnError)
+	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: annoda-lint [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *listOnly {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, err := analyzers.Load(".", patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := 0
+	for _, u := range units {
+		diags, err := u.Diagnostics(analyzers.All())
+		if err != nil {
+			log.Fatalf("%s: %v", u.PkgPath, err)
+		}
+		for _, d := range diags {
+			fmt.Println(analyzers.FormatDiagnostic(u.Fset, d))
+		}
+		found += len(diags)
+	}
+	if found > 0 {
+		log.Fatalf("%d finding(s)", found)
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/analyzers"
+)
+
+// This file implements the go vet tool protocol (what
+// golang.org/x/tools/go/analysis/unitchecker provides) on the standard
+// library: `go vet -vettool=annoda-lint` invokes the binary once per
+// package with a JSON config naming the source files and the export data
+// of every dependency, and expects diagnostics on stderr with a non-zero
+// exit when there are findings, plus a facts file written to VetxOutput
+// (this suite carries no cross-package facts, so the file is a stub).
+
+// vetConfig mirrors the fields of the JSON config the go command writes
+// for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion implements -V=full: the go command hashes this line into
+// its build cache key for vet results.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel annoda-lint buildID=%x\n", exe, h.Sum(nil)[:24])
+}
+
+func vetMain(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parse vet config %s: %v", cfgPath, err)
+	}
+
+	// The go command requires the facts file even from tools without
+	// facts: it is the unit's cache entry.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("annoda-lint: no facts\n"), 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// VetxOnly marks a dependency package analyzed only for facts; with
+	// no facts to compute there is nothing to do.
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the compiler export data the go command
+	// listed for us, after canonicalizing through ImportMap.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analyzers.RunAnalyzers(fset, files, pkg, info, analyzers.All(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, analyzers.FormatDiagnostic(fset, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,370 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedCall enforces the repository's lock-suffix discipline around the
+// mediator's epoch writer lock (and the same convention elsewhere):
+//
+//  1. A function or method whose name ends in "Locked" (publishLocked,
+//     saveLocked, persistDeltaLocked, ...) documents "the caller holds the
+//     guarding mutex". Calling one is only legal from a function that is
+//     itself *Locked, or that has taken a lock (<mu>.Lock / <mu>.RLock)
+//     lexically before the call. Starting a *Locked function as a
+//     goroutine is always a violation: the caller's critical section does
+//     not extend into the goroutine. This is exactly the shape of the
+//     PR 6 fullRebuild lastFP TOCTOU — publication-path work executed
+//     outside epochMu.
+//
+//  2. In package internal/mediator, (*snapstore.Store).AppendWAL is held
+//     to the same rule: the WAL order == epoch publication order == feed
+//     order contract only holds when frames are appended inside the
+//     epochMu section that publishes them.
+//
+//  3. While epochMu is held, a channel send must not be able to block:
+//     the feed hub publishes inside the epoch writer section, and a slow
+//     subscriber must never stall publication. A send is only legal there
+//     as a select case with a default clause.
+//
+// The lock tracking is lexical and intra-function: Lock() seen earlier in
+// the enclosing function satisfies rule 1; for rule 3 the held region is
+// tracked through straight-line code and nested blocks (a Lock or Unlock
+// inside a conditional branch does not leak past it), and a deferred
+// Unlock keeps the region held to the end of the function, which is the
+// point of deferring it.
+var LockedCall = &Analyzer{
+	Name: "lockedcall",
+	Doc: "check that *Locked functions are called with the lock held and " +
+		"that epochMu is never held across a blocking channel send",
+	Run: runLockedCall,
+}
+
+func runLockedCall(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				w := &lcWalker{pass: pass, fnName: d.Name.Name,
+					isLockedFn: strings.HasSuffix(d.Name.Name, "Locked")}
+				w.stmts(d.Body.List)
+			case *ast.GenDecl:
+				// Package-level initializers may contain func literals.
+				w := &lcWalker{pass: pass, fnName: "package-level initializer"}
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							w.scanExpr(v)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type lcWalker struct {
+	pass       *Pass
+	fnName     string
+	isLockedFn bool
+	lockSeen   bool // some mutex Lock/RLock appeared earlier (monotonic)
+	held       bool // epochMu held at this point (block-scoped tracking)
+}
+
+func (w *lcWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lcWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(s.X)
+	case *ast.SendStmt:
+		w.send(s, false)
+	case *ast.DeferStmt:
+		w.deferred(s.Call)
+	case *ast.GoStmt:
+		w.goCall(s.Call)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.BlockStmt:
+		w.scoped(func() { w.stmts(s.List) })
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scanExpr(s.Cond)
+		w.scoped(func() { w.stmts(s.Body.List) })
+		if s.Else != nil {
+			w.scoped(func() { w.stmt(s.Else) })
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond)
+		}
+		w.scoped(func() {
+			w.stmts(s.Body.List)
+			if s.Post != nil {
+				w.stmt(s.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.scoped(func() { w.stmts(s.Body.List) })
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.scanExpr(e)
+				}
+				w.scoped(func() { w.stmts(cc.Body) })
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.scoped(func() { w.stmts(cc.Body) })
+			}
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(s)
+	}
+}
+
+// scoped runs fn with epochMu-held state restored afterwards: lock state
+// changed inside a nested block does not leak into the code after it. The
+// lexical lockSeen bit is monotonic and survives.
+func (w *lcWalker) scoped(fn func()) {
+	saved := w.held
+	fn()
+	w.held = saved
+}
+
+func (w *lcWalker) selectStmt(s *ast.SelectStmt) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil {
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				w.send(send, hasDefault)
+			} else {
+				w.stmt(cc.Comm)
+			}
+		}
+		w.scoped(func() { w.stmts(cc.Body) })
+	}
+}
+
+func (w *lcWalker) send(s *ast.SendStmt, nonBlocking bool) {
+	if w.held && !nonBlocking {
+		w.pass.Reportf(s.Arrow,
+			"channel send while epochMu is held: publication must never block on a consumer; use a select with a default clause or move the send outside the lock")
+	}
+	w.scanExpr(s.Chan)
+	w.scanExpr(s.Value)
+}
+
+// deferred handles `defer f(...)`. A deferred epochMu.Unlock keeps the
+// held region open to the end of the function (that is its purpose); a
+// deferred *Locked call is checked like a normal call.
+func (w *lcWalker) deferred(call *ast.CallExpr) {
+	if isMuMethod(call, "epochMu", "Unlock") {
+		return // the canonical Lock-then-defer-Unlock shape
+	}
+	w.scanExpr(call)
+}
+
+// goCall handles `go f(...)`: a *Locked function started as a goroutine
+// escapes the caller's critical section no matter what locks are held.
+func (w *lcWalker) goCall(call *ast.CallExpr) {
+	if name, ok := w.lockedCallee(call); ok {
+		w.pass.Reportf(call.Pos(),
+			"%s started as a goroutine: the caller's lock does not protect it", name)
+	}
+	for _, a := range call.Args {
+		w.scanExpr(a)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.fresh(lit)
+	}
+}
+
+// scanExpr visits every call in e in source order, classifying lock
+// operations and *Locked calls. Func literals are analyzed as fresh
+// functions: a closure does not inherit its definition site's locks
+// because nothing ties its execution to them.
+func (w *lcWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.fresh(n)
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+func (w *lcWalker) fresh(lit *ast.FuncLit) {
+	nested := &lcWalker{pass: w.pass, fnName: "func literal in " + w.fnName}
+	nested.stmts(lit.Body.List)
+}
+
+// call classifies one call expression (its arguments are visited by the
+// surrounding Inspect).
+func (w *lcWalker) call(call *ast.CallExpr) {
+	// Lock acquisition and release.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			w.lockSeen = true
+			if isMuPath(sel.X, "epochMu") && sel.Sel.Name == "Lock" {
+				w.held = true
+			}
+			return
+		case "Unlock", "RUnlock":
+			if isMuPath(sel.X, "epochMu") {
+				w.held = false
+			}
+			return
+		}
+	}
+
+	if name, ok := w.lockedCallee(call); ok {
+		if !w.isLockedFn && !w.lockSeen {
+			w.pass.Reportf(call.Pos(),
+				"call to %s from %s, which neither holds a lock nor is itself *Locked (the PR 6 lastFP TOCTOU shape)", name, w.fnName)
+		}
+	}
+}
+
+// lockedCallee reports whether call targets a function the lock-suffix
+// discipline applies to, returning a printable name.
+func (w *lcWalker) lockedCallee(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if strings.HasSuffix(fn.Name(), "Locked") {
+		return fn.Name(), true
+	}
+	// WAL appends are publication-path work in the mediator: order on
+	// disk must equal publication order, which only epochMu guarantees.
+	if fn.Name() == "AppendWAL" && pkgPathIn(w.pass.Pkg.Path(), "internal/mediator") {
+		if recvNamed(fn, "Store", "internal/snapstore") {
+			return "AppendWAL (WAL order == publication order contract)", true
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function/method, or nil for conversions,
+// built-ins, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// recvNamed reports whether fn is a method whose receiver's named type is
+// name declared in a package whose path matches suffix.
+func recvNamed(fn *types.Func, name, pkgSuffix string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != name || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pkgPathIn(named.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// isMuPath reports whether e denotes a mutex named muName: the bare
+// identifier or a selector path ending in it (m.epochMu, s.m.epochMu).
+func isMuPath(e ast.Expr, muName string) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == muName
+	case *ast.SelectorExpr:
+		return e.Sel.Name == muName
+	}
+	return false
+}
+
+// isMuMethod reports whether call is <path ending in muName>.<method>().
+func isMuMethod(call *ast.CallExpr, muName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return isMuPath(sel.X, muName)
+}

@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// NoWallTime forbids wall-clock and ambient-randomness reads in the
+// packages whose output is a tested byte-determinism contract: re-encoding
+// a decoded checkpoint must be byte-identical, parallel fusion must be
+// byte-equal to sequential, entity hashes must be stable across runs. A
+// time.Now or math/rand call in those paths cannot be correct — any value
+// it produces either never reaches the output (dead weight) or breaks
+// determinism.
+//
+// Scope (production files only; _test.go files are exempt — tests use
+// fixed-seed rands, and timing assertions are their business):
+//
+//   - internal/wire, internal/delta, internal/snapstore, internal/oem:
+//     whole package;
+//   - internal/mediator: only the codec and fusion files
+//     (persist_codec.go, fuse.go, fuse_parallel.go) — the rest of the
+//     package measures latencies and legitimately reads the clock.
+//
+// Forbidden: time.Now / time.Since / time.Until, any import of math/rand
+// or math/rand/v2, and maphash.MakeSeed (per-process random seeds).
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc:  "forbid wall-clock time and ambient randomness in the byte-deterministic codec and fusion packages",
+	Run:  runNoWallTime,
+}
+
+// nowallScopes lists the deterministic package scopes. An empty file list
+// means the whole package; otherwise only the named files are checked.
+var nowallScopes = []struct {
+	pkgSuffix string
+	files     []string
+}{
+	{"internal/wire", nil},
+	{"internal/delta", nil},
+	{"internal/snapstore", nil},
+	{"internal/oem", nil},
+	{"internal/mediator", []string{"persist_codec.go", "fuse.go", "fuse_parallel.go"}},
+}
+
+func runNoWallTime(pass *Pass) error {
+	var scopedFiles []string
+	inScope := false
+	for _, sc := range nowallScopes {
+		if pkgPathIn(pass.Pkg.Path(), sc.pkgSuffix) {
+			inScope, scopedFiles = true, sc.files
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if len(scopedFiles) > 0 && !contains(scopedFiles, name) {
+			continue
+		}
+		checkNoWallFile(pass, f)
+	}
+	return nil
+}
+
+func checkNoWallFile(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(imp.Pos(),
+				"import of %s in a byte-deterministic package: seeded determinism is not re-run determinism; derive values from the input instead", strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+			pass.Reportf(call.Pos(),
+				"time.%s in a byte-deterministic package: encoded output must not depend on the wall clock", fn.Name())
+		case fn.Pkg().Path() == "hash/maphash" && fn.Name() == "MakeSeed":
+			pass.Reportf(call.Pos(),
+				"maphash.MakeSeed in a byte-deterministic package: per-process seeds break cross-run stability")
+		}
+		return true
+	})
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

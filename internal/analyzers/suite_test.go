@@ -1,0 +1,81 @@
+package analyzers_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/antest"
+)
+
+func TestLockedCall(t *testing.T) {
+	antest.Run(t, antest.TestData(t), analyzers.LockedCall,
+		"lockedcall/a", "lockedcall/internal/mediator")
+}
+
+func TestFrozenMut(t *testing.T) {
+	antest.Run(t, antest.TestData(t), analyzers.FrozenMut,
+		"frozenmut/a", "frozenmut/epoch")
+}
+
+func TestCriticalErr(t *testing.T) {
+	antest.Run(t, antest.TestData(t), analyzers.CriticalErr,
+		"criticalerr/a")
+}
+
+func TestNoWallTime(t *testing.T) {
+	antest.Run(t, antest.TestData(t), analyzers.NoWallTime,
+		"nowalltime/internal/wire", "nowalltime/internal/mediator", "nowalltime/server")
+}
+
+// TestSuppressionDirectives pins the directive grammar: a reason is
+// mandatory, and a directive that suppresses nothing is itself reported.
+func TestSuppressionDirectives(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:ignore criticalerr
+	g()
+	//lint:ignore somerule this one is consumed below
+	g()
+	//lint:ignore otherrule this one suppresses nothing
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := analyzers.ParseSuppressions(fset, []*ast.File{f})
+	if len(sup.Malformed) != 1 || !strings.Contains(sup.Malformed[0].Message, "malformed") {
+		t.Fatalf("want 1 malformed directive (missing reason), got %v", sup.Malformed)
+	}
+
+	// A finding on the line below the somerule directive (line 7) is
+	// suppressed; the same finding is not covered by the otherrule
+	// directive two lines further down.
+	line7 := posOnLine(fset, f, 7)
+	if !sup.Suppressed("somerule", line7) {
+		t.Error("directive on the preceding line did not suppress")
+	}
+	if sup.Suppressed("unrelated", line7) {
+		t.Error("directive for a different analyzer suppressed")
+	}
+
+	unused := sup.Unused()
+	if len(unused) != 1 || !strings.Contains(unused[0].Message, "unused //lint:ignore otherrule") {
+		t.Fatalf("want exactly the otherrule directive reported unused, got %v", unused)
+	}
+}
+
+// posOnLine returns some position on the given 1-based line of f.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line)
+}

@@ -1,0 +1,56 @@
+// Fixture for the frozenmut analyzer: mutations of frozen oem.Graphs are
+// compile-time reports instead of runtime panics. The fixture uses the
+// real repro/internal/oem package so the rule is keyed on the real
+// mustMutable-guarded method set.
+package a
+
+import "repro/internal/oem"
+
+// Building then freezing is the normal lifecycle: every mutation happens
+// before Freeze, nothing is flagged.
+func buildThenFreeze() *oem.Graph {
+	g := oem.NewGraph()
+	id := g.NewString("gene")
+	g.SetRoot("r", id)
+	g.Freeze()
+	return g
+}
+
+// Mutation after Freeze: the runtime panic, caught at vet time.
+func mutateAfterFreeze() {
+	g := oem.NewGraph()
+	g.Freeze()
+	g.NewString("late") // want `NewString on a frozen graph`
+}
+
+func removeAfterFreeze(g2 *oem.Graph) {
+	g := oem.NewGraph()
+	id := g.NewString("x")
+	g.SetRoot("r", id)
+	g.Freeze()
+	g.RemoveSubtree(id) // want `RemoveSubtree on a frozen graph`
+}
+
+// Clone is the documented escape hatch: the clone is unfrozen.
+func cloneIsMutable() {
+	g := oem.NewGraph()
+	g.Freeze()
+	c := g.Clone()
+	c.NewString("fine")
+}
+
+// Reassigning the variable to a clone clears the taint.
+func reassignClears() {
+	g := oem.NewGraph()
+	g.Freeze()
+	g = g.Clone()
+	g.NewString("fine")
+}
+
+// A plain alias still refers to the frozen graph.
+func aliasCarries() {
+	g := oem.NewGraph()
+	g.Freeze()
+	h := g
+	h.SetRoot("r", 0) // want `SetRoot on a frozen graph`
+}

@@ -1,0 +1,63 @@
+// Fixture for the frozenmut analyzer's epoch flows: graphs reached
+// through FusedGraph, WithFusedGraph, and pinEpoch are published frozen
+// snapshots. The manager here mirrors the mediator's shape (pinEpoch is
+// unexported, so the fixture declares the same skeleton locally).
+package epoch
+
+import "repro/internal/oem"
+
+type stats struct{}
+
+type fuseState struct{ graph *oem.Graph }
+
+type snapshot struct{ fs *fuseState }
+
+type manager struct{ cur *snapshot }
+
+func (m *manager) FusedGraph() (*oem.Graph, *stats, error) {
+	return m.cur.fs.graph, &stats{}, nil
+}
+
+func (m *manager) WithFusedGraph(fn func(*oem.Graph, *stats) error) error {
+	return fn(m.cur.fs.graph, &stats{})
+}
+
+func (m *manager) pinEpoch() (*snapshot, bool, error) {
+	return m.cur, false, nil
+}
+
+// FusedGraph hands out the published snapshot: reading is the contract,
+// mutating is the panic.
+func viaFusedGraph(m *manager) {
+	g, _, _ := m.FusedGraph()
+	_ = g.Root("r")
+	g.SetRoot("r", 0) // want `SetRoot on a frozen graph`
+}
+
+// The WithFusedGraph callback's graph parameter is frozen.
+func viaCallback(m *manager) error {
+	return m.WithFusedGraph(func(g *oem.Graph, _ *stats) error {
+		g.RemoveRefs(0, "x") // want `RemoveRefs on a frozen graph`
+		return nil
+	})
+}
+
+// The pinned epoch's graph, reached by field path or through an alias.
+func viaPinEpoch(m *manager) {
+	ep, _, _ := m.pinEpoch()
+	_ = ep.fs.graph.Root("r")
+	ep.fs.graph.SortRefs(0) // want `SortRefs on a frozen graph`
+}
+
+func viaPinEpochAlias(m *manager) {
+	ep, _, _ := m.pinEpoch()
+	g := ep.fs.graph
+	g.SetRoot("r", 0) // want `SetRoot on a frozen graph`
+}
+
+// Cloning the fused graph is the sanctioned way to derive a new world.
+func cloneFused(m *manager) {
+	g, _, _ := m.FusedGraph()
+	c := g.Clone()
+	c.SetRoot("r", 0)
+}

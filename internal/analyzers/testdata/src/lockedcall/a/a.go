@@ -1,0 +1,113 @@
+// Fixture for the lockedcall analyzer: the *Locked call discipline and
+// the no-blocking-send-under-epochMu contract.
+package a
+
+import "sync"
+
+type manager struct {
+	epochMu sync.Mutex
+	ch      chan int
+}
+
+func (m *manager) publishLocked(v int) {}
+func (m *manager) saveLocked()         {}
+
+// Canonical shape: Lock then defer Unlock, *Locked call inside.
+func (m *manager) goodDeferred() {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	m.publishLocked(1)
+}
+
+// Explicit Unlock after the call is equally fine.
+func (m *manager) goodExplicit() {
+	m.epochMu.Lock()
+	m.publishLocked(1)
+	m.epochMu.Unlock()
+}
+
+// A *Locked function may call other *Locked functions: the contract is
+// the caller's caller holds the lock.
+func (m *manager) otherLocked() {
+	m.saveLocked()
+}
+
+// The PR 6 fullRebuild lastFP TOCTOU shape: publication-path work with no
+// lock anywhere in sight.
+func (m *manager) fullRebuildRace() {
+	m.publishLocked(2) // want `call to publishLocked from fullRebuildRace`
+}
+
+// A goroutine escapes the caller's critical section no matter what.
+func (m *manager) spawns() {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	go m.saveLocked() // want `saveLocked started as a goroutine`
+}
+
+// A closure does not inherit its definition site's lock: nothing ties its
+// execution to the critical section.
+func (m *manager) closure() func() {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	return func() {
+		m.publishLocked(3) // want `call to publishLocked from func literal`
+	}
+}
+
+// Blocking send while epochMu is held: a slow consumer stalls publication.
+func (m *manager) sendUnderLock(v int) {
+	m.epochMu.Lock()
+	m.ch <- v // want `channel send while epochMu is held`
+	m.epochMu.Unlock()
+}
+
+// The feed-hub shape: non-blocking send via select with default.
+func (m *manager) sendNonBlocking(v int) {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	select {
+	case m.ch <- v:
+	default:
+	}
+}
+
+// After an explicit Unlock the send may block freely.
+func (m *manager) sendAfterUnlock(v int) {
+	m.epochMu.Lock()
+	m.saveLocked()
+	m.epochMu.Unlock()
+	m.ch <- v
+}
+
+// An Unlock inside a conditional branch does not leak past the branch:
+// the send below is still under the lock on the path that skipped it.
+func (m *manager) branchUnlock(v int, early bool) {
+	m.epochMu.Lock()
+	if early {
+		m.epochMu.Unlock()
+		return
+	}
+	m.ch <- v // want `channel send while epochMu is held`
+	m.epochMu.Unlock()
+}
+
+// Read-side convention: RLock satisfies the *Locked discipline too.
+type store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *store) sizeLocked() int { return s.n }
+
+func (s *store) size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sizeLocked()
+}
+
+// Suppression: a justified //lint:ignore silences the finding.
+func (m *manager) suppressed() {
+	//lint:ignore lockedcall constructor-only path, no concurrent reader exists yet
+	m.publishLocked(4)
+}

@@ -1,0 +1,35 @@
+// Fixture for the lockedcall analyzer's WAL-append rule: in a mediator
+// package, (*snapstore.Store).AppendWAL is publication-path work and must
+// run under epochMu (WAL order == epoch publication order == feed order).
+// The fixture's import path ends in /mediator, which opts it into the
+// package-scoped rule.
+package mediator
+
+import (
+	"sync"
+
+	"repro/internal/snapstore"
+)
+
+type mgr struct {
+	epochMu sync.Mutex
+	store   *snapstore.Store
+}
+
+// Caller is *Locked: its own caller holds epochMu.
+func (m *mgr) persistDeltaLocked(rec []byte) {
+	_ = m.store.AppendWAL(rec)
+}
+
+// Lock held in the same function.
+func (m *mgr) refresh(rec []byte) error {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	return m.store.AppendWAL(rec)
+}
+
+// No lock anywhere: a frame appended here can land out of publication
+// order.
+func (m *mgr) stray(rec []byte) {
+	_ = m.store.AppendWAL(rec) // want `AppendWAL .*WAL order == publication order`
+}

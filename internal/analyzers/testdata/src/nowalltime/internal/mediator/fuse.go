@@ -1,0 +1,10 @@
+// Fixture for the nowalltime analyzer's file-scoped mediator rule: only
+// the codec and fusion files (persist_codec.go, fuse.go, fuse_parallel.go)
+// carry the byte-determinism contract.
+package mediator
+
+import "time"
+
+func fuseStamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a byte-deterministic package`
+}

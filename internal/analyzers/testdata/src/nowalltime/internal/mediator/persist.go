@@ -1,0 +1,9 @@
+package mediator
+
+import "time"
+
+// persist.go is not one of the scoped codec files: the rest of the
+// mediator measures latencies and legitimately reads the clock.
+func refreshDuration(start time.Time) time.Duration {
+	return time.Since(start)
+}

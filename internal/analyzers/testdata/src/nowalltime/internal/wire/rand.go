@@ -1,0 +1,12 @@
+package wire
+
+import (
+	"hash/maphash"
+	"math/rand" // want `import of math/rand in a byte-deterministic package`
+)
+
+func roll() int { return rand.Intn(6) }
+
+func seed() maphash.Seed {
+	return maphash.MakeSeed() // want `maphash\.MakeSeed in a byte-deterministic package`
+}

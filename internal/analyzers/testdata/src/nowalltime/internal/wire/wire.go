@@ -1,0 +1,19 @@
+// Fixture for the nowalltime analyzer: this fixture's import path ends in
+// internal/wire, one of the byte-deterministic scopes.
+package wire
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a byte-deterministic package`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in a byte-deterministic package`
+}
+
+// Explicit timestamps passed in by the caller are fine: determinism means
+// the output is a function of the input.
+func encodeStamp(t time.Time) int64 {
+	return t.UnixNano()
+}

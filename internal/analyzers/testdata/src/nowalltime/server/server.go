@@ -1,0 +1,10 @@
+// Fixture for the nowalltime analyzer: a package outside the
+// deterministic scopes may use the clock freely (request timing,
+// middleware deadlines).
+package server
+
+import "time"
+
+func deadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}

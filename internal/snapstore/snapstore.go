@@ -256,12 +256,12 @@ func writeFileSynced(path string, chunks ...[]byte) error {
 	}
 	for _, c := range chunks {
 		if _, err := f.Write(c); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one to surface
 			return fmt.Errorf("snapstore: %v", err)
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is the one to surface
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	if err := f.Close(); err != nil {
@@ -274,8 +274,8 @@ func writeFileSynced(path string, chunks ...[]byte) error {
 // fsync directories, and the rename itself is already atomic.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		_ = d.Sync() // best-effort by contract (see doc comment)
+		_ = d.Close()
 	}
 }
 

@@ -29,11 +29,11 @@ func (s *Store) startWALLocked(seq uint64) error {
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	if _, err := f.Write(header); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one to surface
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is the one to surface
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	s.wal, s.walSeq, s.walRecords, s.walBytes = f, seq, 0, 0
@@ -93,12 +93,12 @@ func (s *Store) rewindWALLocked(off int64) {
 		return
 	}
 	if err := s.wal.Truncate(off); err != nil {
-		s.wal.Close()
+		_ = s.wal.Close() // poisoning the handle; the truncate failure already decided that
 		s.wal = nil
 		return
 	}
 	if _, err := s.wal.Seek(off, 0); err != nil {
-		s.wal.Close()
+		_ = s.wal.Close() // poisoning the handle; the seek failure already decided that
 		s.wal = nil
 	}
 }
@@ -196,11 +196,11 @@ func (s *Store) OpenWAL(seq uint64) error {
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	if err := f.Truncate(validLen); err != nil {
-		f.Close()
+		_ = f.Close() // the truncate error is the one to surface
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	if _, err := f.Seek(validLen, 0); err != nil {
-		f.Close()
+		_ = f.Close() // the seek error is the one to surface
 		return fmt.Errorf("snapstore: %v", err)
 	}
 	s.wal, s.walSeq, s.walRecords, s.walBytes = f, seq, len(recs), validLen-walHeaderSize
