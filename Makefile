@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race fuzz-smoke bench bench-smoke serve clean
+.PHONY: check vet lint fmt-check build test race fuzz-smoke bench bench-smoke metrics-check serve clean
 
 # check is the tier-1 gate: formatting, vet, the project-invariant lint
 # suite, build, and the full test tree under -race.
@@ -49,14 +49,37 @@ bench:
 # silently between careful runs. The second pass re-runs the E16
 # concurrent-throughput/batch benches under GOMAXPROCS=8 so the lock-free
 # epoch read path sees real goroutine concurrency even on small CI runners.
-# The final line smoke-runs the E18 change-feed experiment through the
-# annoda-bench runner itself (including the -json recorder), so the CLI
-# experiment path can't rot independently of the benchmarks.
+# The final lines smoke-run the E18 change-feed and E19 obs-overhead
+# experiments through the annoda-bench runner itself (including the -json
+# recorder), so the CLI experiment path can't rot independently of the
+# benchmarks.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='E16_Concurrent|E16_QueriesUnderRefreshChurn|E16_AskBatch' -benchtime=1x -cpu 8 .
 	$(GO) test -run=NONE -bench='E17_Restore1k|E17_DeltaRefreshPersisted1k|E17_RestoreReplay32_1k' -benchtime=1x .
 	$(GO) run ./cmd/annoda-bench -exp E18 -genes 200 -json /dev/null
+	$(GO) run ./cmd/annoda-bench -exp E19 -genes 200 -json /dev/null
+
+# metrics-check boots a real server on a loopback port, scrapes GET
+# /metrics after one warm-up query, and validates the scrape as Prometheus
+# text exposition 0.0.4 via `annoda-lint -prom` — the hand-rolled
+# exposition writer is checked against a live process, not just fixtures.
+metrics-check:
+	@set -e; \
+	$(GO) build -o /tmp/annoda-server-ci ./cmd/annoda-server; \
+	$(GO) build -o /tmp/annoda-lint-ci ./cmd/annoda-lint; \
+	/tmp/annoda-server-ci -addr 127.0.0.1:18077 -genes 60 >/tmp/annoda-server-ci.log 2>&1 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS http://127.0.0.1:18077/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ "$$up" != 1 ]; then echo "server never became healthy:"; cat /tmp/annoda-server-ci.log; exit 1; fi; \
+	curl -fsS "http://127.0.0.1:18077/api/query?q=select%20G%20from%20ANNODA-GML.Gene%20G" >/dev/null; \
+	curl -fsS http://127.0.0.1:18077/metrics -o /tmp/annoda-scrape.txt; \
+	/tmp/annoda-lint-ci -prom /tmp/annoda-scrape.txt
 
 serve:
 	$(GO) run ./cmd/annoda-server

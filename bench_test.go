@@ -22,6 +22,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/mediator"
 	"repro/internal/navigate"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/snapstore"
 	"repro/internal/sources/locuslink"
@@ -1294,4 +1295,68 @@ func BenchmarkE18_PollAfterRefresh(b *testing.B) {
 			b.Fatal("empty canonical answer")
 		}
 	}
+}
+
+// --- E19: observability overhead — traced vs untraced Ask --------------------
+
+// benchmarkE19 measures the per-request cost of the obs layer on the
+// cached Ask hot path. opts either carries a live obs bundle (op + stage
+// histograms observed, a trace allocated and retired per request at the
+// given sampling rate) or none (every obs call site takes the nil fast
+// path). The acceptance bar is <5% on E13/E16-style workloads at default
+// sampling.
+func benchmarkE19(b *testing.B, opts mediator.Options) {
+	sys, err := core.New(benchCorpus(1000), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Figure5bQuestion()
+	if _, _, err := sys.Ask(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Ask(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE19_AskUntraced(b *testing.B) { benchmarkE19(b, mediator.Options{}) }
+func BenchmarkE19_AskTraced(b *testing.B) {
+	benchmarkE19(b, mediator.Options{Obs: obs.New(obs.Config{})})
+}
+func BenchmarkE19_AskTracedSampled16(b *testing.B) {
+	benchmarkE19(b, mediator.Options{Obs: obs.New(obs.Config{SampleEvery: 16})})
+}
+
+// benchmarkE19Concurrent is the E16-shaped variant: GOMAXPROCS goroutines
+// hammering one System, traced vs not — the trace ring claim and the
+// histogram observations are the only added shared-state writes.
+func benchmarkE19Concurrent(b *testing.B, opts mediator.Options) {
+	sys, err := core.New(benchCorpus(1000), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Figure5bQuestion()
+	if _, _, err := sys.Ask(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := sys.Ask(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE19_ConcurrentAskUntraced(b *testing.B) {
+	benchmarkE19Concurrent(b, mediator.Options{})
+}
+func BenchmarkE19_ConcurrentAskTraced(b *testing.B) {
+	benchmarkE19Concurrent(b, mediator.Options{Obs: obs.New(obs.Config{})})
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/mediator"
 	"repro/internal/navigate"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/snapstore"
 	"repro/internal/sources/locuslink"
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E18) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E19) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	jsonOut := flag.String("json", "", "write headline numbers as JSON to this file")
@@ -57,9 +58,10 @@ func main() {
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
 		"E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17, "E18": e18,
+		"E19": e19,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -143,12 +145,12 @@ func e1(c *datagen.Corpus, sys *core.System) {
 
 // E2 — Figure 4: the ANNODA-GML global model.
 func e2(c *datagen.Corpus, sys *core.System) {
-	t0 := time.Now()
+	t0 := obs.Now()
 	g, err := sys.Global.Materialize(sys.Registry)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("materialized GML: %d objects in %v\n", g.Len(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("materialized GML: %d objects in %v\n", g.Len(), obs.Since(t0).Round(time.Millisecond))
 	fmt.Println("\nmapping module output (MDSM + transformation calls):")
 	fmt.Print(sys.Global.Describe())
 }
@@ -193,12 +195,12 @@ func e4(c *datagen.Corpus, sys *core.System) {
 
 // E5 — Figure 5(b): the integrated view for the paper's running example.
 func e5(c *datagen.Corpus, sys *core.System) {
-	t0 := time.Now()
+	t0 := obs.Now()
 	v, stats, err := sys.Ask(core.Figure5bQuestion())
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(t0)
+	elapsed := obs.Since(t0)
 	out := v.Format()
 	lines := strings.Split(out, "\n")
 	head := lines
@@ -286,12 +288,12 @@ func e8(c *datagen.Corpus, sys *core.System) {
 	fmt.Printf("%-20s %-10s %-12s %-12s %-10s %s\n", "config", "answers", "fetched", "kept", "sources", "latency")
 	for _, cf := range configs {
 		m := mediator.New(sys.Registry, sys.Global, cf.opts)
-		t0 := time.Now()
+		t0 := obs.Now()
 		res, stats, err := m.QueryString(query)
 		if err != nil {
 			fatal(err)
 		}
-		el := time.Since(t0)
+		el := obs.Since(t0)
 		fetched, kept := 0, 0
 		for _, n := range stats.Fetched {
 			fetched += n
@@ -338,12 +340,12 @@ func e9(c *datagen.Corpus, sys *core.System) {
 			{"greedy", match.MatchGreedy},
 			{"stable", match.MatchStable},
 		} {
-			t0 := time.Now()
+			t0 := obs.Now()
 			var res match.Result
 			for i := 0; i < 200; i++ {
 				res = m.fn(s, conceptSchema, match.Options{})
 			}
-			el := time.Since(t0) / 200
+			el := obs.Since(t0) / 200
 			p, r, f1 := match.Evaluate(res, truth[s.Source])
 			fmt.Printf("%-10s %-10s %-7.3f %-7.3f %-7.3f %v\n", s.Source, m.name, p, r, f1, el)
 		}
@@ -358,47 +360,47 @@ func e10(c *datagen.Corpus, sys *core.System) {
 	fmt.Printf("%-22s %-8s %-10s %-28s %s\n", "architecture", "answers", "latency", "freshness", "notes")
 
 	// ANNODA (federated, mediated).
-	t0 := time.Now()
+	t0 := obs.Now()
 	v, _, err := sys.Ask(core.Figure5bQuestion())
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "ANNODA (federated)", len(v.Rows),
-		time.Since(t0).Round(time.Millisecond), "always fresh", "one global query, reconciled")
+		obs.Since(t0).Round(time.Millisecond), "always fresh", "one global query, reconciled")
 
 	// GUS-style warehouse.
 	gus := warehouse.New(sys.Registry, sys.Global)
-	tLoad := time.Now()
+	tLoad := obs.Now()
 	if err := gus.Refresh(); err != nil {
 		fatal(err)
 	}
-	loadTime := time.Since(tLoad)
-	t1 := time.Now()
+	loadTime := obs.Since(tLoad)
+	t1 := obs.Now()
 	syms, err := gus.Figure5b()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "GUS (warehouse)", len(syms),
-		time.Since(t1).Round(time.Millisecond),
+		obs.Since(t1).Round(time.Millisecond),
 		fmt.Sprintf("stale until refresh (%v)", loadTime.Round(time.Millisecond)),
 		"fast local SQL after ETL")
 
 	// DiscoveryLink-style federation.
 	dl := fedsql.New(sys.Registry)
-	t2 := time.Now()
+	t2 := obs.Now()
 	dlSyms, err := dl.Figure5b()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "DiscoveryLink (SQL)", len(dlSyms),
-		time.Since(t2).Round(time.Millisecond), "fresh per query", "user writes SQL + client anti-join")
+		obs.Since(t2).Round(time.Millisecond), "fresh per query", "user writes SQL + client anti-join")
 
 	// Hypertext navigation.
 	h := &navigate.Hypertext{LL: sys.LocusLink, GO: sys.GO, OM: sys.OMIM}
-	t3 := time.Now()
+	t3 := obs.Now()
 	hSyms, trips := h.AnswerFigure5b()
 	fmt.Printf("%-22s %-8d %-10v %-28s %s\n", "Hypertext (Entrez)", len(hSyms),
-		time.Since(t3).Round(time.Millisecond), "fresh per page",
+		obs.Since(t3).Round(time.Millisecond), "fresh per page",
 		fmt.Sprintf("%d link round-trips, no reconciliation", trips))
 }
 
@@ -408,11 +410,11 @@ func e11(c *datagen.Corpus, sys *core.System) {
 	if err != nil {
 		fatal(err)
 	}
-	t0 := time.Now()
+	t0 := obs.Now()
 	if err := fresh.PlugInProteins(); err != nil {
 		fatal(err)
 	}
-	plugTime := time.Since(t0)
+	plugTime := obs.Since(t0)
 	m := fresh.Global.MappingFor("ProtDB")
 	fmt.Printf("plugged ProtDB in %v; mapped to concept %s with %d rules:\n",
 		plugTime.Round(time.Millisecond), m.Concept, len(m.Rules))
@@ -455,7 +457,7 @@ func e13(c *datagen.Corpus, sys *core.System) {
 		if err != nil {
 			fatal(err)
 		}
-		t0 := time.Now()
+		t0 := obs.Now()
 		n := 0
 		for r := 0; r < rounds; r++ {
 			for _, q := range questions {
@@ -465,7 +467,7 @@ func e13(c *datagen.Corpus, sys *core.System) {
 				n++
 			}
 		}
-		el := time.Since(t0)
+		el := obs.Since(t0)
 		seq[cf.name] = el
 		cacheCol := "disabled"
 		if counters, ok := s.Manager.CacheCounters(); ok {
@@ -489,7 +491,7 @@ func e13(c *datagen.Corpus, sys *core.System) {
 			fatal(err)
 		}
 		var wg sync.WaitGroup
-		t0 := time.Now()
+		t0 := obs.Now()
 		for g := 0; g < 8; g++ {
 			wg.Add(1)
 			go func(g int) {
@@ -502,7 +504,7 @@ func e13(c *datagen.Corpus, sys *core.System) {
 			}(g)
 		}
 		wg.Wait()
-		el := time.Since(t0)
+		el := obs.Since(t0)
 		conc[cf.name] = el
 		n := 8 * rounds
 		cacheCol := "disabled"
@@ -535,22 +537,22 @@ func e14(c *datagen.Corpus, sys *core.System) {
 	if err != nil {
 		fatal(err)
 	}
-	t0 := time.Now()
+	t0 := obs.Now()
 	for i := 0; i < rounds; i++ {
 		if _, err := plan.Eval(g); err != nil {
 			fatal(err)
 		}
 	}
-	compiled := time.Since(t0) / rounds
+	compiled := obs.Since(t0) / rounds
 
 	q := lorel.MustParse(query)
-	t1 := time.Now()
+	t1 := obs.Now()
 	for i := 0; i < rounds; i++ {
 		if _, err := lorel.Eval(g, q); err != nil {
 			fatal(err)
 		}
 	}
-	interpreted := time.Since(t1) / rounds
+	interpreted := obs.Since(t1) / rounds
 
 	fmt.Println("repeated-shape eval over the fused graph (plan reuse vs per-call compile):")
 	fmt.Printf("  %-22s %v/eval\n", "compiled (plan reuse)", compiled.Round(time.Microsecond))
@@ -577,13 +579,13 @@ func e14(c *datagen.Corpus, sys *core.System) {
 		if err != nil {
 			fatal(err)
 		}
-		t := time.Now()
+		t := obs.Now()
 		for _, v := range variants {
 			if _, _, err := s.Query(v); err != nil {
 				fatal(err)
 			}
 		}
-		el := time.Since(t)
+		el := obs.Since(t)
 		line := fmt.Sprintf("  %-22s %v total, %v/question", cf.name,
 			el.Round(time.Millisecond), (el / time.Duration(len(variants))).Round(time.Microsecond))
 		if sc, ok := s.Manager.SnapshotCounters(); ok {
@@ -639,7 +641,7 @@ func e15(c *datagen.Corpus, sys *core.System) {
 				}
 			}
 		}
-		t0 := time.Now()
+		t0 := obs.Now()
 		rr, err := deltaSys.Manager.RefreshSource("LocusLink")
 		if err != nil {
 			fatal(err)
@@ -648,18 +650,18 @@ func e15(c *datagen.Corpus, sys *core.System) {
 		if err != nil {
 			fatal(err)
 		}
-		deltaTime += time.Since(t0)
+		deltaTime += obs.Since(t0)
 		if rr.FullRebuild || !rr.Patched {
 			fatal(fmt.Errorf("delta path not taken: %+v", rr))
 		}
 
-		t1 := time.Now()
+		t1 := obs.Now()
 		fullSys.Registry.Get("LocusLink").Refresh()
 		resF, _, err := fullSys.Query(query)
 		if err != nil {
 			fatal(err)
 		}
-		fullTime += time.Since(t1)
+		fullTime += obs.Since(t1)
 
 		got := oem.CanonicalText(resD.Graph, "answer", resD.Answer)
 		want := oem.CanonicalText(resF.Graph, "answer", resF.Answer)
@@ -698,12 +700,12 @@ func e12(c *datagen.Corpus, sys *core.System) {
 	}
 	symbols = symbols[:10000]
 	for _, workers := range []int{1, 4, 8} {
-		t0 := time.Now()
+		t0 := obs.Now()
 		results, err := sys.AnnotateBatch(symbols, workers)
 		if err != nil {
 			fatal(err)
 		}
-		el := time.Since(t0)
+		el := obs.Since(t0)
 		okCount := 0
 		for _, r := range results {
 			if r.Err == nil {
@@ -782,7 +784,7 @@ func e16(c *datagen.Corpus, sys *core.System) {
 			}()
 		}
 		var wg sync.WaitGroup
-		t0 := time.Now()
+		t0 := obs.Now()
 		for gID := 0; gID < goroutines; gID++ {
 			wg.Add(1)
 			go func(gID int) {
@@ -795,7 +797,7 @@ func e16(c *datagen.Corpus, sys *core.System) {
 			}(gID)
 		}
 		wg.Wait()
-		el := time.Since(t0)
+		el := obs.Since(t0)
 		close(stop)
 		churnWG.Wait()
 		if churn {
@@ -825,12 +827,12 @@ func e16(c *datagen.Corpus, sys *core.System) {
 	if _, _, err := bs.Query(batchQ[0]); err != nil {
 		fatal(err)
 	}
-	t0 := time.Now()
+	t0 := obs.Now()
 	answers, stats, err := bs.QueryBatch(batchQ)
 	if err != nil {
 		fatal(err)
 	}
-	batchTime := time.Since(t0)
+	batchTime := obs.Since(t0)
 	for _, a := range answers {
 		if a.Err != nil {
 			fatal(a.Err)
@@ -840,13 +842,13 @@ func e16(c *datagen.Corpus, sys *core.System) {
 	if _, _, err := ss.Query(batchQ[0]); err != nil {
 		fatal(err)
 	}
-	t1 := time.Now()
+	t1 := obs.Now()
 	for _, q := range batchQ {
 		if _, _, err := ss.Query(q); err != nil {
 			fatal(err)
 		}
 	}
-	seqTime := time.Since(t1)
+	seqTime := obs.Since(t1)
 	fmt.Printf("\n%d-question batch (one pinned epoch):\n", len(batchQ))
 	fmt.Printf("  %-26s %v total, %v/question\n", "AskBatch (concurrent)",
 		batchTime.Round(time.Millisecond), (batchTime / time.Duration(len(batchQ))).Round(time.Microsecond))
@@ -857,11 +859,11 @@ func e16(c *datagen.Corpus, sys *core.System) {
 	// (3) Cold recorded fusion, sequential vs sharded parallel.
 	fuseOnce := func(sequential bool) time.Duration {
 		m := mediator.New(sys.Registry, sys.Global, mediator.Options{SequentialFuse: sequential, Workers: goroutines})
-		t := time.Now()
+		t := obs.Now()
 		if _, _, err := m.FusedGraph(); err != nil {
 			fatal(err)
 		}
-		return time.Since(t)
+		return obs.Since(t)
 	}
 	fmt.Printf("\ncold recorded fusion at %d genes:\n", len(c.Genes))
 	seqFuse := fuseOnce(true)
@@ -911,12 +913,12 @@ func e17(c *datagen.Corpus, sys *core.System) {
 		for _, w := range sys.Registry.All() {
 			w.Refresh()
 		}
-		t0 := time.Now()
+		t0 := obs.Now()
 		m := mediator.New(sys.Registry, sys.Global, mediator.Options{})
 		if _, _, err := m.FusedGraph(); err != nil {
 			fatal(err)
 		}
-		coldTime += time.Since(t0)
+		coldTime += obs.Since(t0)
 	}
 
 	// Warm restarts: decode the checkpoint, replay the (empty) WAL.
@@ -924,7 +926,7 @@ func e17(c *datagen.Corpus, sys *core.System) {
 	var restored *mediator.RestoreResult
 	var warmWorld string
 	for r := 0; r < rounds; r++ {
-		t0 := time.Now()
+		t0 := obs.Now()
 		m := mediator.New(sys.Registry, sys.Global, mediator.Options{})
 		st, err := snapstore.Open(dir, snapstore.Options{})
 		if err != nil {
@@ -940,7 +942,7 @@ func e17(c *datagen.Corpus, sys *core.System) {
 		if !rr.Restored {
 			fatal(fmt.Errorf("restore fell back: %+v", rr))
 		}
-		warmTime += time.Since(t0)
+		warmTime += obs.Since(t0)
 		restored = rr
 		if r == 0 {
 			g, _, err := m.FusedGraph()
@@ -1010,7 +1012,7 @@ func e18(c *datagen.Corpus, sys *core.System) {
 				}
 			}()
 		}
-		t0 := time.Now()
+		t0 := obs.Now()
 		for i := 0; i < events; i++ {
 			h.Publish(feed.Event{
 				Kind: feed.KindChange, Source: "GO",
@@ -1020,7 +1022,7 @@ func e18(c *datagen.Corpus, sys *core.System) {
 				runtime.Gosched()
 			}
 		}
-		el := time.Since(t0)
+		el := obs.Since(t0)
 		for _, s := range all {
 			s.Close()
 		}
@@ -1088,7 +1090,7 @@ func e18(c *datagen.Corpus, sys *core.System) {
 		if err := standSys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
 			fatal(err)
 		}
-		t0 := time.Now()
+		t0 := obs.Now()
 		if _, err := standSys.Manager.RefreshSource("LocusLink"); err != nil {
 			fatal(err)
 		}
@@ -1101,7 +1103,7 @@ func e18(c *datagen.Corpus, sys *core.System) {
 				pushes++
 			}
 		}
-		standTime += time.Since(t0)
+		standTime += obs.Since(t0)
 	}
 
 	pollSys := mkSys()
@@ -1111,7 +1113,7 @@ func e18(c *datagen.Corpus, sys *core.System) {
 		if err := pollSys.LocusLink.Update(id, func(l *locuslink.Locus) { l.Description = rev }); err != nil {
 			fatal(err)
 		}
-		t0 := time.Now()
+		t0 := obs.Now()
 		if _, err := pollSys.Manager.RefreshSource("LocusLink"); err != nil {
 			fatal(err)
 		}
@@ -1122,7 +1124,7 @@ func e18(c *datagen.Corpus, sys *core.System) {
 		if oem.CanonicalText(res.Graph, "answer", res.Answer) == "" {
 			fatal(fmt.Errorf("empty canonical answer"))
 		}
-		pollTime += time.Since(t0)
+		pollTime += obs.Since(t0)
 	}
 
 	fmt.Printf("\nkeeping one watcher current over %d answer-changing refreshes:\n", rounds)
@@ -1133,4 +1135,125 @@ func e18(c *datagen.Corpus, sys *core.System) {
 	record("E18", "standing_per_round_us", standTime/rounds)
 	record("E18", "poll_per_round_us", pollTime/rounds)
 	record("E18", "standing_answers_pushed", pushes)
+}
+
+// E19 — observability overhead: the identical cached-Ask workload served
+// by a plain mediator and by one carrying a live obs bundle (op+stage
+// histograms, per-request traces at the default 1-in-1 sampling, and a
+// 1-in-16 sampled variant). The headline is the traced/untraced overhead
+// in percent; the acceptance bar for the PR that introduced internal/obs
+// was <5% at default sampling on the E13/E16-shaped workloads.
+func e19(c *datagen.Corpus, sys *core.System) {
+	questions := []core.Question{
+		core.Figure5bQuestion(),
+		{Include: []string{"OMIM"}},
+		{Include: []string{"GO", "OMIM"}, Combine: core.CombineAny},
+		{Include: []string{"GO"}, Conditions: []core.Condition{{Field: "Symbol", Op: "like", Value: "A%"}}},
+	}
+	const rounds = 50
+
+	type config struct {
+		name string
+		opts mediator.Options
+	}
+	configs := []config{
+		{"untraced", mediator.Options{}},
+		{"traced", mediator.Options{Obs: obs.New(obs.Config{})}},
+		{"sampled16", mediator.Options{Obs: obs.New(obs.Config{SampleEvery: 16})}},
+	}
+
+	// Overheads under ~5% drown in scheduler and GC noise on a loaded
+	// machine, so each config runs several trials and the minimum counts:
+	// the min is the run least disturbed by everything that is not the
+	// workload. Systems are built up front and trials interleave across
+	// configs so a slow patch of machine time cannot bias one config.
+	const trials = 5
+	systems := map[string]*core.System{}
+	for _, cf := range configs {
+		s, err := core.New(c, cf.opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, q := range questions { // warm the cache out of the timed region
+			if _, _, err := s.Ask(q); err != nil {
+				fatal(err)
+			}
+		}
+		systems[cf.name] = s
+	}
+
+	fmt.Println("workload: each of", len(questions), "distinct questions asked", rounds,
+		"times (cached), best of", trials, "trials")
+	fmt.Printf("\n-- sequential --\n%-10s %-12s %s\n", "config", "best", "per-question")
+	seq := map[string]time.Duration{}
+	for t := 0; t < trials; t++ {
+		for _, cf := range configs {
+			s := systems[cf.name]
+			runtime.GC()
+			t0 := obs.Now()
+			for r := 0; r < rounds; r++ {
+				for _, q := range questions {
+					if _, _, err := s.Ask(q); err != nil {
+						fatal(err)
+					}
+				}
+			}
+			el := obs.Since(t0)
+			if cur, ok := seq[cf.name]; !ok || el < cur {
+				seq[cf.name] = el
+			}
+		}
+	}
+	for _, cf := range configs {
+		el := seq[cf.name]
+		n := rounds * len(questions)
+		fmt.Printf("%-10s %-12v %v\n", cf.name, el.Round(time.Millisecond),
+			(el / time.Duration(n)).Round(time.Microsecond))
+		record("E19", cf.name+"_per_ask_us", el/time.Duration(n))
+	}
+	if seq["untraced"] > 0 {
+		over := (float64(seq["traced"])/float64(seq["untraced"]) - 1) * 100
+		fmt.Printf("tracing overhead at default sampling: %+.1f%%\n", over)
+		record("E19", "sequential_overhead_pct", over)
+	}
+
+	const workers = 8
+	fmt.Printf("\n-- concurrent (%d goroutines) --\n%-10s %-12s %s\n", workers, "config", "best", "per-question")
+	conc := map[string]time.Duration{}
+	for t := 0; t < trials; t++ {
+		for _, cf := range configs {
+			s := systems[cf.name]
+			runtime.GC()
+			var wg sync.WaitGroup
+			t0 := obs.Now()
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						if _, _, err := s.Ask(questions[(g+r)%len(questions)]); err != nil {
+							fatal(err)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			el := obs.Since(t0)
+			if cur, ok := conc[cf.name]; !ok || el < cur {
+				conc[cf.name] = el
+			}
+		}
+	}
+	for _, cf := range configs {
+		el := conc[cf.name]
+		n := workers * rounds
+		fmt.Printf("%-10s %-12v %v\n", cf.name, el.Round(time.Millisecond),
+			(el / time.Duration(n)).Round(time.Microsecond))
+		record("E19", cf.name+"_concurrent_per_ask_us", el/time.Duration(n))
+	}
+	if conc["untraced"] > 0 {
+		over := (float64(conc["traced"])/float64(conc["untraced"]) - 1) * 100
+		fmt.Printf("tracing overhead at default sampling: %+.1f%%\n", over)
+		record("E19", "concurrent_overhead_pct", over)
+	}
 }

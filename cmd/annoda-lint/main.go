@@ -6,6 +6,7 @@
 //
 //	annoda-lint ./...          # analyze packages, test files included
 //	annoda-lint -list          # print the suite
+//	annoda-lint -prom FILE     # validate FILE as a Prometheus /metrics scrape
 //
 // As a go vet tool (the unitchecker protocol, reimplemented on the
 // standard library because the module is dependency-free):
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/analyzers"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -55,8 +57,9 @@ func main() {
 
 	fs := flag.NewFlagSet("annoda-lint", flag.ExitOnError)
 	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	promFile := fs.String("prom", "", "validate FILE as Prometheus text exposition (a /metrics scrape) and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: annoda-lint [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: annoda-lint [-prom scrape.txt] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +69,10 @@ func main() {
 		for _, a := range analyzers.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		return
+	}
+	if *promFile != "" {
+		checkProm(*promFile)
 		return
 	}
 	patterns := fs.Args()
@@ -91,4 +98,25 @@ func main() {
 	if found > 0 {
 		log.Fatalf("%d finding(s)", found)
 	}
+}
+
+// checkProm validates a saved /metrics scrape as Prometheus text
+// exposition format 0.0.4 — the CI hook that keeps the hand-rolled
+// exposition writer honest against a live server.
+func checkProm(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	exp, err := obs.ValidateExposition(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	families := map[string]bool{}
+	for _, s := range exp.Samples {
+		families[s.Name] = true
+	}
+	fmt.Printf("%s: valid exposition, %d samples across %d series, %d TYPE families\n",
+		path, len(exp.Samples), len(families), len(exp.Types))
 }

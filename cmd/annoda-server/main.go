@@ -16,8 +16,18 @@
 //	/api/watch   GET: Server-Sent Events stream of change-feed notifications
 //	             (?concepts=, ?query= for standing queries, ?summary=1,
 //	             Last-Event-ID resume); exempt from the request timeout
+//	/api/debug/traces  GET: recent and slow request traces as JSON, newest
+//	             first (`annoda traces` renders them)
+//	/metrics     Prometheus text exposition: op/stage/HTTP latency
+//	             histograms plus cache, epoch, WAL, checkpoint and feed
+//	             counters
 //	/healthz     liveness probe
 //	/statsz      request, cache, delta, persistence and warehouse counters
+//
+// Every response carries an X-Request-ID header; error bodies, panic logs
+// and timeout bodies repeat the ID so a client-side failure can be joined
+// to the server-side trace (-trace-sample, -trace-ring, -slow-query tune
+// the tracer).
 //
 // Every request runs under a timeout and panic recovery; repeated questions
 // are answered from the mediator's sharded result cache (disable with
@@ -59,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/snapstore"
 	"repro/internal/warehouse"
 )
@@ -85,6 +96,9 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "auto-checkpoint after this many WAL records (0 = default)")
 	fsyncWAL := flag.Bool("fsync-wal", false, "fsync the delta WAL on every append (durable refreshes at the cost of append latency)")
 	watchHeartbeat := flag.Duration("watch-heartbeat", defaultWatchHeartbeat, "/api/watch SSE keep-alive interval")
+	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, the default)")
+	traceRing := flag.Int("trace-ring", 0, "recent-trace ring capacity (0 = default)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold (0 = default)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -106,6 +120,12 @@ func main() {
 		CacheSize:    *cacheSize,
 		CacheTTL:     *cacheTTL,
 		DisableCache: *noCache,
+		Obs: obs.New(obs.Config{
+			SampleEvery:   *traceSample,
+			RingSize:      *traceRing,
+			SlowThreshold: *slowQuery,
+			Logf:          log.Printf,
+		}),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -244,7 +264,7 @@ func check(b bool) string {
 // ask renders the Figure 5(b) integrated view.
 func (s *server) ask(w http.ResponseWriter, r *http.Request) {
 	q := s.questionFromForm(r)
-	view, stats, err := s.sys.Ask(q)
+	view, stats, err := s.sys.AskCtx(r.Context(), q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -410,7 +410,8 @@ func TestRequestTimeout(t *testing.T) {
 		case <-time.After(5 * time.Second):
 		}
 	})
-	h := recovering(http.TimeoutHandler(slow, 20*time.Millisecond, "request timed out"))
+	srv := &server{logf: func(string, ...any) {}}
+	h := srv.recovering(http.TimeoutHandler(slow, 20*time.Millisecond, "request timed out"))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
 	if rec.Code != http.StatusServiceUnavailable {
@@ -420,7 +421,8 @@ func TestRequestTimeout(t *testing.T) {
 
 // TestRecoveryMiddleware: a panicking handler becomes a 500.
 func TestRecoveryMiddleware(t *testing.T) {
-	h := recovering(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	srv := &server{logf: func(string, ...any) {}}
+	h := srv.recovering(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	}))
 	rec := httptest.NewRecorder()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/warehouse"
 )
@@ -51,7 +52,14 @@ func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat t
 	if heartbeat <= 0 {
 		heartbeat = defaultWatchHeartbeat
 	}
-	s := &server{sys: sys, wh: wh, start: time.Now(), heartbeat: heartbeat}
+	// Share the mediator's observability bundle so /metrics exposes the op,
+	// cache, and persistence series next to the HTTP ones; a system built
+	// without one still gets HTTP metrics and traces from a private bundle.
+	o := sys.Manager.Obs()
+	if o == nil {
+		o = obs.New(obs.Config{Logf: log.Printf})
+	}
+	s := &server{sys: sys, wh: wh, o: o, start: obs.Now(), heartbeat: heartbeat, logf: log.Printf}
 
 	mux := http.NewServeMux()
 	// HTML views (Figures 5a/5b/5c).
@@ -68,14 +76,17 @@ func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat t
 	// Operational endpoints.
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/statsz", s.statsz)
+	mux.HandleFunc("/api/debug/traces", s.apiDebugTraces)
+	mux.Handle("/metrics", o.Reg.Handler())
 
 	outer := http.NewServeMux()
 	outer.HandleFunc("/api/watch", s.apiWatch)
-	outer.Handle("/", http.TimeoutHandler(mux, timeout, "request timed out"))
+	outer.Handle("/", s.timed(mux, timeout))
 
 	var h http.Handler = outer
 	h = s.counting(h)
-	h = recovering(h)
+	h = s.recovering(h)
+	h = s.instrument(h)
 	return h
 }
 
@@ -104,13 +115,16 @@ func (s *server) counting(next http.Handler) http.Handler {
 }
 
 // recovering converts a handler panic into a 500 instead of killing the
-// connection (and, under http.Serve, leaking a broken keep-alive).
-func recovering(next http.Handler) http.Handler {
+// connection (and, under http.Serve, leaking a broken keep-alive). The log
+// line and the response body both carry the request ID so the two can be
+// joined from either side.
+func (s *server) recovering(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				log.Printf("panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
-				http.Error(w, "internal server error", http.StatusInternalServerError)
+				rid := requestIDFrom(r.Context())
+				s.logf("panic serving %s (request %s): %v\n%s", r.URL.Path, rid, rec, debug.Stack())
+				jsonError(w, r, http.StatusInternalServerError, "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -120,8 +134,10 @@ func recovering(next http.Handler) http.Handler {
 type server struct {
 	sys       *core.System
 	wh        *warehouse.Warehouse // nil when no warehouse is attached
+	o         *obs.Obs
 	start     time.Time
 	heartbeat time.Duration // /api/watch SSE keep-alive interval
+	logf      func(format string, args ...any)
 	requests  atomic.Int64
 	perPath   struct {
 		mu     sync.Mutex
@@ -139,7 +155,7 @@ func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) boo
 		}
 	}
 	w.Header().Set("Allow", strings.Join(methods, ", "))
-	jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	jsonError(w, r, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	return false
 }
 
@@ -178,7 +194,9 @@ type cacheJSON struct {
 	Shared    int64 `json:"shared"`
 	Evictions int64 `json:"evictions"`
 	Expired   int64 `json:"expired"`
+	Inval     int64 `json:"invalidations"`
 	Entries   int   `json:"entries"`
+	InFlight  int   `json:"in_flight"`
 }
 
 type statsJSON struct {
@@ -211,8 +229,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func jsonError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if rid := requestIDFrom(r.Context()); rid != "" {
+		body["request_id"] = rid
+	}
+	writeJSON(w, status, body)
 }
 
 // mediatorStats converts mediator stats to the wire shape.
@@ -234,7 +256,8 @@ func mediatorStats(st *mediator.Stats) statsJSON {
 		out.Cache = &cacheJSON{
 			Hit:  st.CacheHit,
 			Hits: st.Cache.Hits, Misses: st.Cache.Misses, Shared: st.Cache.Shared,
-			Evictions: st.Cache.Evictions, Expired: st.Cache.Expired, Entries: st.Cache.Entries,
+			Evictions: st.Cache.Evictions, Expired: st.Cache.Expired,
+			Inval: st.Cache.Invalidations, Entries: st.Cache.Entries, InFlight: st.Cache.InFlight,
 		}
 	}
 	return out
@@ -255,7 +278,7 @@ func (s *server) apiAsk(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+			jsonError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
 		q.Include = req.Include
@@ -266,7 +289,7 @@ func (s *server) apiAsk(w http.ResponseWriter, r *http.Request) {
 		case "any":
 			q.Combine = core.CombineAny
 		default:
-			jsonError(w, http.StatusBadRequest, "combine must be \"all\" or \"any\", got %q", req.Combine)
+			jsonError(w, r, http.StatusBadRequest, "combine must be \"all\" or \"any\", got %q", req.Combine)
 			return
 		}
 		for _, c := range req.Conditions {
@@ -275,9 +298,9 @@ func (s *server) apiAsk(w http.ResponseWriter, r *http.Request) {
 	default: // GET
 		q = s.questionFromForm(r)
 	}
-	view, stats, err := s.sys.Ask(q)
+	view, stats, err := s.sys.AskCtx(r.Context(), q)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "%v", err)
+		jsonError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := askResponse{
@@ -320,7 +343,7 @@ func (s *server) apiQuery(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+			jsonError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
 		src = req.Query
@@ -328,12 +351,12 @@ func (s *server) apiQuery(w http.ResponseWriter, r *http.Request) {
 		src = r.FormValue("q")
 	}
 	if strings.TrimSpace(src) == "" {
-		jsonError(w, http.StatusBadRequest, "missing query (POST {\"query\": ...} or GET ?q=...)")
+		jsonError(w, r, http.StatusBadRequest, "missing query (POST {\"query\": ...} or GET ?q=...)")
 		return
 	}
-	res, stats, err := s.sys.Query(src)
+	res, stats, err := s.sys.QueryCtx(r.Context(), src)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "%v", err)
+		jsonError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
@@ -381,20 +404,20 @@ func (s *server) apiBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		jsonError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		jsonError(w, http.StatusBadRequest, "missing queries (POST {\"queries\": [...]})")
+		jsonError(w, r, http.StatusBadRequest, "missing queries (POST {\"queries\": [...]})")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		jsonError(w, http.StatusBadRequest, "batch too large: %d queries (limit %d)", len(req.Queries), maxBatchQueries)
+		jsonError(w, r, http.StatusBadRequest, "batch too large: %d queries (limit %d)", len(req.Queries), maxBatchQueries)
 		return
 	}
-	answers, stats, err := s.sys.QueryBatch(req.Queries)
+	answers, stats, err := s.sys.QueryBatchCtx(r.Context(), req.Queries)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "%v", err)
+		jsonError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp := batchResponse{
@@ -430,12 +453,12 @@ func (s *server) apiObject(w http.ResponseWriter, r *http.Request) {
 	}
 	url := r.FormValue("url")
 	if url == "" {
-		jsonError(w, http.StatusBadRequest, "missing url parameter")
+		jsonError(w, r, http.StatusBadRequest, "missing url parameter")
 		return
 	}
 	out, err := s.sys.ObjectView(url)
 	if err != nil {
-		jsonError(w, http.StatusNotFound, "%v", err)
+		jsonError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, objectResponse{URL: url, Text: out})
@@ -516,12 +539,12 @@ func (s *server) apiCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, ok := s.sys.Manager.PersistCounters(); !ok {
-		jsonError(w, http.StatusConflict, "persistence not enabled (start the server with -data-dir)")
+		jsonError(w, r, http.StatusConflict, "persistence not enabled (start the server with -data-dir)")
 		return
 	}
-	res, err := s.sys.Manager.SaveSnapshot()
+	res, err := s.sys.Manager.SaveSnapshotCtx(r.Context())
 	if err != nil {
-		jsonError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		jsonError(w, r, http.StatusInternalServerError, "checkpoint: %v", err)
 		return
 	}
 	pc, _ := s.sys.Manager.PersistCounters()
@@ -556,20 +579,20 @@ func (s *server) apiRefresh(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		jsonError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Source == "" {
-		jsonError(w, http.StatusBadRequest, "missing source (POST {\"source\": ...})")
+		jsonError(w, r, http.StatusBadRequest, "missing source (POST {\"source\": ...})")
 		return
 	}
 	if req.Source == "warehouse" {
 		if s.wh == nil {
-			jsonError(w, http.StatusNotFound, "no warehouse attached")
+			jsonError(w, r, http.StatusNotFound, "no warehouse attached")
 			return
 		}
 		if err := s.wh.Refresh(); err != nil {
-			jsonError(w, http.StatusInternalServerError, "warehouse refresh: %v", err)
+			jsonError(w, r, http.StatusInternalServerError, "warehouse refresh: %v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, refreshResponse{
@@ -580,19 +603,19 @@ func (s *server) apiRefresh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.sys.Registry.Get(req.Source) == nil {
-		jsonError(w, http.StatusNotFound, "source %q not registered", req.Source)
+		jsonError(w, r, http.StatusNotFound, "source %q not registered", req.Source)
 		return
 	}
-	rr, err := s.sys.Manager.RefreshSource(req.Source)
+	rr, err := s.sys.Manager.RefreshSourceCtx(r.Context(), req.Source)
 	if err != nil {
 		// The source exists; a failure here is a wrapper/model problem,
 		// not a routing one.
-		jsonError(w, http.StatusInternalServerError, "%v", err)
+		jsonError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	// The navigation index was built over the old models; re-resolve.
 	if err := s.sys.Resolver.Reindex(); err != nil {
-		jsonError(w, http.StatusInternalServerError, "reindex after refresh: %v", err)
+		jsonError(w, r, http.StatusInternalServerError, "reindex after refresh: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, refreshResponse{
@@ -636,14 +659,15 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.perPath.mu.Unlock()
 	resp := map[string]any{
-		"uptime_seconds":   int64(time.Since(s.start).Seconds()),
+		"uptime_seconds":   int64(obs.Since(s.start).Seconds()),
 		"requests_total":   s.requests.Load(),
 		"requests_by_path": byPath,
 	}
 	if counters, ok := s.sys.Manager.CacheCounters(); ok {
 		resp["cache"] = cacheJSON{
 			Hits: counters.Hits, Misses: counters.Misses, Shared: counters.Shared,
-			Evictions: counters.Evictions, Expired: counters.Expired, Entries: counters.Entries,
+			Evictions: counters.Evictions, Expired: counters.Expired,
+			Inval: counters.Invalidations, Entries: counters.Entries, InFlight: counters.InFlight,
 		}
 	} else {
 		resp["cache"] = nil

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/mediator"
+	"repro/internal/obs"
+	"repro/internal/warehouse"
+)
+
+// obsSystem builds a private System whose mediator shares an observability
+// bundle with the mux, so /metrics carries the op and cache series next to
+// the HTTP ones.
+func obsSystem(t *testing.T) (*core.System, *obs.Obs) {
+	t.Helper()
+	o := obs.New(obs.Config{Logf: func(string, ...any) {}})
+	cfg := datagen.Config{
+		Seed: 779, Genes: 50, GoTerms: 30, Diseases: 20,
+		ConflictRate: 0.2, MissingRate: 0.1,
+	}
+	sys, err := core.New(datagen.Generate(cfg), mediator.Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, o
+}
+
+// TestObsConcurrentScrape hammers queries, refreshes, /metrics scrapes, and
+// /api/debug/traces reads concurrently (run under -race in CI), then checks
+// the accounting invariant: the HTTP duration histogram's _count equals the
+// number of requests served, and the op{query} histogram's _count equals
+// the number of query calls — op histograms observe unconditionally,
+// independent of trace sampling.
+func TestObsConcurrentScrape(t *testing.T) {
+	sys, _ := obsSystem(t)
+	wh := warehouse.New(sys.Registry, sys.Global)
+	h := newMux(sys, wh, 0)
+
+	var total, queries atomic.Int64
+
+	// Warm the snapshot so refreshes have an epoch to patch.
+	warm := get(t, h, "/api/query?q="+url.QueryEscape(
+		`select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`))
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm query = %d: %s", warm.Code, warm.Body.String())
+	}
+	total.Add(1)
+	queries.Add(1)
+
+	const iters = 8
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+	// Query workers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rec := get(t, h, "/api/query?q="+url.QueryEscape(`select G from ANNODA-GML.Gene G`))
+				total.Add(1)
+				queries.Add(1)
+				if rec.Code != http.StatusOK {
+					fail("query = %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	// Refresh worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rec := postJSON(t, h, "/api/refresh", `{"source":"GO"}`)
+			total.Add(1)
+			if rec.Code != http.StatusOK {
+				fail("refresh = %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	// Metrics scraper: every scrape must parse as valid exposition even
+	// mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rec := get(t, h, "/metrics")
+			total.Add(1)
+			if rec.Code != http.StatusOK {
+				fail("metrics = %d", rec.Code)
+				return
+			}
+			if _, err := obs.ValidateExposition(rec.Body); err != nil {
+				fail("scrape %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Trace reader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rec := get(t, h, "/api/debug/traces")
+			total.Add(1)
+			if rec.Code != http.StatusOK {
+				fail("traces = %d", rec.Code)
+				return
+			}
+			var resp tracesResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				fail("traces decode: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final serial scrape: the scrape's own histogram observation lands
+	// after its response body is written, so the body reflects exactly the
+	// requests completed before it.
+	rec := get(t, h, "/metrics")
+	exp, err := obs.ValidateExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	if got, want := exp.SumCount("annoda_http_request_duration_seconds_count"), float64(total.Load()); got != want {
+		t.Errorf("http histogram count = %v, want %v (observed requests)", got, want)
+	}
+	if got, ok := exp.Value("annoda_op_duration_seconds_count", map[string]string{"op": "query"}); !ok || got != float64(queries.Load()) {
+		t.Errorf("op{query} histogram count = %v (found=%v), want %v", got, ok, queries.Load())
+	}
+	if got, ok := exp.Value("annoda_op_duration_seconds_count", map[string]string{"op": "refresh"}); !ok || got != float64(iters) {
+		t.Errorf("op{refresh} histogram count = %v (found=%v), want %v", got, ok, iters)
+	}
+}
+
+// TestAskTraceRetrievable pins the acceptance contract: at default sampling
+// every completed Ask shows up in /api/debug/traces, joinable by the
+// X-Request-ID the response carried.
+func TestAskTraceRetrievable(t *testing.T) {
+	sys, _ := obsSystem(t)
+	h := newMux(sys, nil, 0)
+
+	rec := postJSON(t, h, "/api/ask", `{"include":["GO"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ask = %d: %s", rec.Code, rec.Body.String())
+	}
+	rid := rec.Header().Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("ask response missing X-Request-ID")
+	}
+
+	tr := get(t, h, "/api/debug/traces")
+	if tr.Code != http.StatusOK {
+		t.Fatalf("traces = %d", tr.Code)
+	}
+	var resp tracesResponse
+	if err := json.Unmarshal(tr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("traces decode: %v", err)
+	}
+	var found *obs.TraceView
+	for i := range resp.Recent {
+		if resp.Recent[i].ID == rid {
+			found = &resp.Recent[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %s not in recent ring (%d traces)", rid, len(resp.Recent))
+	}
+	if found.Op != "http" {
+		t.Errorf("trace op = %q, want http", found.Op)
+	}
+	stages := map[string]bool{}
+	for _, sp := range found.Spans {
+		stages[sp.Stage] = true
+	}
+	if !stages[string(obs.StageFetch)] && !stages[string(obs.StageFuse)] {
+		t.Errorf("ask trace has no fetch/fuse spans: %+v", found.Spans)
+	}
+}
+
+// TestMetricsHandlerExposesMediatorSeries checks the scrape-time collector
+// bridge: cache and snapshot counters owned by the mediator appear in the
+// mux's /metrics output.
+func TestMetricsHandlerExposesMediatorSeries(t *testing.T) {
+	sys, _ := obsSystem(t)
+	h := newMux(sys, nil, 0)
+
+	if rec := get(t, h, "/api/query?q="+url.QueryEscape(`select G from ANNODA-GML.Gene G`)); rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := get(t, h, "/metrics")
+	exp, err := obs.ValidateExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	for _, name := range []string{
+		"annoda_cache_misses_total",
+		"annoda_snapshot_misses_total",
+		"annoda_http_request_duration_seconds_count",
+		"annoda_op_duration_seconds_count",
+	} {
+		if n := exp.SumCount(name); n == 0 {
+			t.Errorf("series %s absent or zero after a query", name)
+		}
+	}
+}
+
+// TestRequestIDCorrelation pins the error-correlation contract through the
+// real middleware chain: a panicking handler's 500 body and a timed-out
+// handler's 503 body both carry the same request ID the response header
+// advertised, and both failures are logged with that ID.
+func TestRequestIDCorrelation(t *testing.T) {
+	var logMu sync.Mutex
+	var logged []string
+	s := &server{
+		o: obs.New(obs.Config{}),
+		logf: func(format string, args ...any) {
+			logMu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	}
+
+	t.Run("panic", func(t *testing.T) {
+		h := s.instrument(s.recovering(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+			panic("boom")
+		})))
+		rec := get(t, h, "/api/ask")
+		rid := rec.Header().Get("X-Request-ID")
+		if rec.Code != http.StatusInternalServerError || rid == "" {
+			t.Fatalf("panicking handler = %d (rid %q), want 500 with a request ID", rec.Code, rid)
+		}
+		var body struct {
+			Error     string `json:"error"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("500 body not JSON: %v (%s)", err, rec.Body.String())
+		}
+		if body.RequestID != rid {
+			t.Errorf("500 body request_id = %q, header = %q", body.RequestID, rid)
+		}
+		logMu.Lock()
+		defer logMu.Unlock()
+		joined := strings.Join(logged, "\n")
+		if !strings.Contains(joined, rid) {
+			t.Errorf("panic log does not mention request ID %s:\n%s", rid, joined)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-r.Context().Done()
+		})
+		h := s.instrument(s.recovering(s.timed(slow, 20*time.Millisecond)))
+		rec := get(t, h, "/api/query")
+		rid := rec.Header().Get("X-Request-ID")
+		if rec.Code != http.StatusServiceUnavailable || rid == "" {
+			t.Fatalf("timed-out handler = %d (rid %q), want 503 with a request ID", rec.Code, rid)
+		}
+		var body struct {
+			Error     string `json:"error"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("503 body not JSON: %v (%s)", err, rec.Body.String())
+		}
+		if body.RequestID != rid {
+			t.Errorf("503 body request_id = %q, header = %q", body.RequestID, rid)
+		}
+	})
+}

@@ -94,7 +94,7 @@ func (s *server) apiWatch(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		jsonError(w, http.StatusInternalServerError, "streaming unsupported by this server configuration")
+		jsonError(w, r, http.StatusInternalServerError, "streaming unsupported by this server configuration")
 		return
 	}
 
@@ -109,7 +109,7 @@ func (s *server) apiWatch(w http.ResponseWriter, r *http.Request) {
 	if b := r.URL.Query().Get("buffer"); b != "" {
 		n, err := strconv.Atoi(b)
 		if err != nil || n < 1 || n > maxWatchBuffer {
-			jsonError(w, http.StatusBadRequest, "buffer must be an integer in [1,%d]", maxWatchBuffer)
+			jsonError(w, r, http.StatusBadRequest, "buffer must be an integer in [1,%d]", maxWatchBuffer)
 			return
 		}
 		opts.Buffer = n
@@ -124,7 +124,7 @@ func (s *server) apiWatch(w http.ResponseWriter, r *http.Request) {
 	if after != "" {
 		seq, err := strconv.ParseUint(after, 10, 64)
 		if err != nil {
-			jsonError(w, http.StatusBadRequest, "invalid resume sequence %q", after)
+			jsonError(w, r, http.StatusBadRequest, "invalid resume sequence %q", after)
 			return
 		}
 		opts.Resume = true
@@ -137,7 +137,7 @@ func (s *server) apiWatch(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, mediator.ErrFeedDisabled) {
 			status = http.StatusConflict
 		}
-		jsonError(w, status, "watch: %v", err)
+		jsonError(w, r, status, "watch: %v", err)
 		return
 	}
 	defer sub.Close()
@@ -146,7 +146,7 @@ func (s *server) apiWatch(w http.ResponseWriter, r *http.Request) {
 	if src := strings.TrimSpace(r.URL.Query().Get("query")); src != "" {
 		sq, err = s.sys.Manager.AddStandingQuery(sub, src)
 		if err != nil {
-			jsonError(w, http.StatusBadRequest, "standing query: %v", err)
+			jsonError(w, r, http.StatusBadRequest, "standing query: %v", err)
 			return
 		}
 		defer sq.Cancel()

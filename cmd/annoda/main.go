@@ -17,6 +17,7 @@
 //	snapshot save              write a durable snapshot checkpoint to -data-dir
 //	snapshot info              inspect the newest restorable checkpoint in -data-dir
 //	watch [flags]              follow a running server's change feed (SSE)
+//	traces [flags]             dump a running server's recent/slow request traces
 package main
 
 import (
@@ -62,6 +63,13 @@ func main() {
 	// only slow the subscription down.
 	if args[0] == "watch" {
 		if err := watchCmd(args[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// `traces` likewise queries a running server's debug rings.
+	if args[0] == "traces" {
+		if err := tracesCmd(args[1:]); err != nil {
 			fatal(err)
 		}
 		return

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/annoda"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,12 +31,12 @@ func main() {
 	symbols = symbols[:10000]
 
 	for _, workers := range []int{1, 2, 8} {
-		t0 := time.Now()
+		t0 := obs.Now()
 		results, err := sys.AnnotateBatch(symbols, workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		elapsed := time.Since(t0)
+		elapsed := obs.Since(t0)
 		annotated, goTerms, diseases := 0, 0, 0
 		for _, r := range results {
 			if r.Err != nil {

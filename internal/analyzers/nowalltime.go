@@ -6,28 +6,40 @@ import (
 	"strings"
 )
 
-// NoWallTime forbids wall-clock and ambient-randomness reads in the
-// packages whose output is a tested byte-determinism contract: re-encoding
-// a decoded checkpoint must be byte-identical, parallel fusion must be
-// byte-equal to sequential, entity hashes must be stable across runs. A
-// time.Now or math/rand call in those paths cannot be correct — any value
-// it produces either never reaches the output (dead weight) or breaks
-// determinism.
+// NoWallTime enforces the repo's two-tier clock policy.
 //
-// Scope (production files only; _test.go files are exempt — tests use
-// fixed-seed rands, and timing assertions are their business):
+// Tier 1 (repo-wide): internal/obs is the one sanctioned home for
+// wall-clock reads. Every other production file must route timing through
+// obs.Now / obs.Since / obs.Until instead of calling time.Now / time.Since
+// / time.Until directly — a single funnel is what makes the clock
+// swappable in tests and keeps instrumentation policy (monotonic reads,
+// future sampling hooks) in one place.
+//
+// Tier 2 (deterministic scopes): the packages whose output is a tested
+// byte-determinism contract — re-encoding a decoded checkpoint must be
+// byte-identical, parallel fusion must be byte-equal to sequential, entity
+// hashes must be stable across runs — must not read the clock AT ALL, not
+// even through internal/obs: laundering time.Now through obs.Now does not
+// make it deterministic. Any clock value in those paths either never
+// reaches the output (dead weight) or breaks determinism.
+//
+// Deterministic scopes (production files only; _test.go files are exempt
+// everywhere — tests use fixed-seed rands, and timing assertions are their
+// business):
 //
 //   - internal/wire, internal/delta, internal/snapstore, internal/oem:
 //     whole package;
 //   - internal/mediator: only the codec and fusion files
 //     (persist_codec.go, fuse.go, fuse_parallel.go) — the rest of the
-//     package measures latencies and legitimately reads the clock.
+//     package measures latencies and legitimately reads the clock (via
+//     obs).
 //
-// Forbidden: time.Now / time.Since / time.Until, any import of math/rand
-// or math/rand/v2, and maphash.MakeSeed (per-process random seeds).
+// Additionally forbidden in the deterministic scopes: any import of
+// math/rand or math/rand/v2, and maphash.MakeSeed (per-process random
+// seeds).
 var NoWallTime = &Analyzer{
 	Name: "nowalltime",
-	Doc:  "forbid wall-clock time and ambient randomness in the byte-deterministic codec and fusion packages",
+	Doc:  "route wall-clock reads through internal/obs, and forbid any clock or ambient randomness in the byte-deterministic codec and fusion packages",
 	Run:  runNoWallTime,
 }
 
@@ -45,36 +57,38 @@ var nowallScopes = []struct {
 }
 
 func runNoWallTime(pass *Pass) error {
+	// internal/obs is the sanctioned clock home: its whole point is to be
+	// the one place that calls time.Now.
+	if pkgPathIn(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
 	var scopedFiles []string
-	inScope := false
+	deterministic := false
 	for _, sc := range nowallScopes {
 		if pkgPathIn(pass.Pkg.Path(), sc.pkgSuffix) {
-			inScope, scopedFiles = true, sc.files
+			deterministic, scopedFiles = true, sc.files
 			break
 		}
-	}
-	if !inScope {
-		return nil
 	}
 	for _, f := range pass.Files {
 		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
 		if strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		if len(scopedFiles) > 0 && !contains(scopedFiles, name) {
-			continue
-		}
-		checkNoWallFile(pass, f)
+		strict := deterministic && (len(scopedFiles) == 0 || contains(scopedFiles, name))
+		checkNoWallFile(pass, f, strict)
 	}
 	return nil
 }
 
-func checkNoWallFile(pass *Pass, f *ast.File) {
-	for _, imp := range f.Imports {
-		switch strings.Trim(imp.Path.Value, `"`) {
-		case "math/rand", "math/rand/v2":
-			pass.Reportf(imp.Pos(),
-				"import of %s in a byte-deterministic package: seeded determinism is not re-run determinism; derive values from the input instead", strings.Trim(imp.Path.Value, `"`))
+func checkNoWallFile(pass *Pass, f *ast.File, strict bool) {
+	if strict {
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"import of %s in a byte-deterministic package: seeded determinism is not re-run determinism; derive values from the input instead", strings.Trim(imp.Path.Value, `"`))
+			}
 		}
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -86,11 +100,20 @@ func checkNoWallFile(pass *Pass, f *ast.File) {
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
+		wallName := fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"
 		switch {
-		case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+		case fn.Pkg().Path() == "time" && wallName:
+			if strict {
+				pass.Reportf(call.Pos(),
+					"time.%s in a byte-deterministic package: encoded output must not depend on the wall clock", fn.Name())
+			} else {
+				pass.Reportf(call.Pos(),
+					"time.%s outside internal/obs: route clock reads through obs.%s so the observability layer stays the single wall-clock authority", fn.Name(), fn.Name())
+			}
+		case strict && pkgPathIn(fn.Pkg().Path(), "internal/obs") && wallName:
 			pass.Reportf(call.Pos(),
-				"time.%s in a byte-deterministic package: encoded output must not depend on the wall clock", fn.Name())
-		case fn.Pkg().Path() == "hash/maphash" && fn.Name() == "MakeSeed":
+				"obs.%s in a byte-deterministic package: laundering the wall clock through internal/obs does not make the output deterministic", fn.Name())
+		case strict && fn.Pkg().Path() == "hash/maphash" && fn.Name() == "MakeSeed":
 			pass.Reportf(call.Pos(),
 				"maphash.MakeSeed in a byte-deterministic package: per-process seeds break cross-run stability")
 		}

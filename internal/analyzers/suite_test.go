@@ -28,7 +28,8 @@ func TestCriticalErr(t *testing.T) {
 
 func TestNoWallTime(t *testing.T) {
 	antest.Run(t, antest.TestData(t), analyzers.NoWallTime,
-		"nowalltime/internal/wire", "nowalltime/internal/mediator", "nowalltime/server")
+		"nowalltime/internal/wire", "nowalltime/internal/mediator",
+		"nowalltime/internal/obs", "nowalltime/server")
 }
 
 // TestSuppressionDirectives pins the directive grammar: a reason is

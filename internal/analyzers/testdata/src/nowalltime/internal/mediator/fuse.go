@@ -1,10 +1,23 @@
 // Fixture for the nowalltime analyzer's file-scoped mediator rule: only
 // the codec and fusion files (persist_codec.go, fuse.go, fuse_parallel.go)
-// carry the byte-determinism contract.
+// carry the byte-determinism contract. Inside them, the clock is banned
+// outright — including reads laundered through internal/obs.
 package mediator
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 func fuseStamp() int64 {
 	return time.Now().UnixNano() // want `time\.Now in a byte-deterministic package`
+}
+
+func fuseStampLaundered() int64 {
+	return obs.Now().UnixNano() // want `obs\.Now in a byte-deterministic package`
+}
+
+func fuseAge(t time.Time) time.Duration {
+	return obs.Since(t) // want `obs\.Since in a byte-deterministic package`
 }

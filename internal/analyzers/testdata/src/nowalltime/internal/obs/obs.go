@@ -1,0 +1,12 @@
+// Fixture for the nowalltime analyzer's exemption: a package whose import
+// path ends in internal/obs is the sanctioned wall-clock home and may call
+// time.Now / time.Since / time.Until directly — that is its job.
+package obs
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
+func Until(t time.Time) time.Duration { return time.Until(t) }

@@ -1,10 +1,25 @@
-// Fixture for the nowalltime analyzer: a package outside the
-// deterministic scopes may use the clock freely (request timing,
-// middleware deadlines).
+// Fixture for the nowalltime analyzer's repo-wide tier: packages outside
+// the deterministic scopes may measure time, but must do it through
+// internal/obs — direct time.Now reads are flagged everywhere except
+// internal/obs itself.
 package server
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 func deadline() time.Time {
-	return time.Now().Add(5 * time.Second)
+	return time.Now().Add(5 * time.Second) // want `time\.Now outside internal/obs`
+}
+
+// Routing the read through obs is the sanctioned form.
+func deadlineObs() time.Time {
+	return obs.Now().Add(5 * time.Second)
+}
+
+// Explicit timestamps passed in by the caller never touch the clock.
+func expired(t time.Time, ttl time.Duration) bool {
+	return obs.Since(t) > ttl
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -108,12 +109,23 @@ func (s *System) Query(src string) (*lorel.Result, *mediator.Stats, error) {
 	return s.Manager.QueryString(src)
 }
 
+// QueryCtx is Query recording into the request trace carried by ctx.
+func (s *System) QueryCtx(ctx context.Context, src string) (*lorel.Result, *mediator.Stats, error) {
+	return s.Manager.QueryStringCtx(ctx, src)
+}
+
 // QueryBatch runs many Lorel queries as one batch: all snapshot-safe
 // questions evaluate concurrently against a single pinned epoch, so every
 // answer describes the same consistent annotation world (the THEA-style
 // many-questions workload).
 func (s *System) QueryBatch(queries []string) ([]mediator.BatchAnswer, *mediator.Stats, error) {
 	return s.Manager.AskBatch(queries)
+}
+
+// QueryBatchCtx is QueryBatch recording into the request trace carried by
+// ctx.
+func (s *System) QueryBatchCtx(ctx context.Context, queries []string) ([]mediator.BatchAnswer, *mediator.Stats, error) {
+	return s.Manager.AskBatchCtx(ctx, queries)
 }
 
 // ---------------------------------------------------------------------------
@@ -212,11 +224,16 @@ func (s *System) ToLorel(q Question) (string, error) {
 
 // Ask compiles and executes a question, returning the integrated view.
 func (s *System) Ask(q Question) (*View, *mediator.Stats, error) {
+	return s.AskCtx(context.Background(), q)
+}
+
+// AskCtx is Ask recording into the request trace carried by ctx.
+func (s *System) AskCtx(ctx context.Context, q Question) (*View, *mediator.Stats, error) {
 	src, err := s.ToLorel(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, stats, err := s.Manager.QueryString(src)
+	res, stats, err := s.Manager.QueryStringCtx(ctx, src)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,11 +1,12 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"repro/internal/lorel"
+	"repro/internal/obs"
 )
 
 // Batch evaluation: THEA-style ontology analyses ask hundreds of related
@@ -37,6 +38,30 @@ type BatchAnswer struct {
 // count and EvalTime the total wall-clock evaluation time (String reports
 // the per-question share).
 func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
+	return m.AskBatchCtx(context.Background(), queries)
+}
+
+// AskBatchCtx is AskBatch recording into the request trace carried by ctx
+// (or a fresh one when observability is on and ctx has none).
+func (m *Manager) AskBatchCtx(ctx context.Context, queries []string) ([]BatchAnswer, *Stats, error) {
+	if m.o == nil {
+		return m.askBatch(queries, nil)
+	}
+	tr, owned := m.traceFor(ctx, "batch", fmt.Sprintf("%d questions", len(queries)))
+	t0 := obs.Now()
+	answers, stats, err := m.askBatch(queries, tr)
+	m.opBatchDur.Observe(obs.Since(t0))
+	if err != nil {
+		m.opBatchErr.Inc()
+		tr.SetErr(err)
+	}
+	if owned {
+		tr.Finish()
+	}
+	return answers, stats, err
+}
+
+func (m *Manager) askBatch(queries []string, tr *obs.Trace) ([]BatchAnswer, *Stats, error) {
 	if len(queries) == 0 {
 		return nil, nil, fmt.Errorf("mediator: empty batch")
 	}
@@ -50,11 +75,13 @@ func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
 	// runs the full pipeline concurrently instead.
 	var ep *snapshot
 	if m.cache != nil {
+		tp := obs.Now()
 		var err error
 		ep, _, err = m.pinEpoch()
 		if err != nil {
 			return nil, nil, err
 		}
+		tr.Span(obs.StageEpochPin, tp)
 	}
 
 	workers := m.opts.Workers
@@ -64,7 +91,7 @@ func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
 	if m.opts.Sequential {
 		workers = 1
 	}
-	t0 := time.Now()
+	t0 := obs.Now()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i := range queries {
@@ -73,7 +100,7 @@ func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			m.askOne(&answers[i], ep)
+			m.askOne(&answers[i], ep, tr)
 		}(i)
 	}
 	wg.Wait()
@@ -85,7 +112,8 @@ func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
 		agg = &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 	}
 	agg.BatchQuestions = len(queries)
-	agg.EvalTime = time.Since(t0)
+	agg.EvalTime = obs.Since(t0)
+	tr.SpanDur(obs.StageEval, t0, agg.EvalTime, fmt.Sprintf("%d workers", workers))
 	agg.Delta = m.DeltaCounters()
 	agg.Persist = m.persistCountersValue()
 	return answers, agg, nil
@@ -93,7 +121,7 @@ func (m *Manager) AskBatch(queries []string) ([]BatchAnswer, *Stats, error) {
 
 // askOne answers one batch question into ans, against the pinned epoch
 // when the question qualifies.
-func (m *Manager) askOne(ans *BatchAnswer, ep *snapshot) {
+func (m *Manager) askOne(ans *BatchAnswer, ep *snapshot, tr *obs.Trace) {
 	q, err := lorel.Parse(ans.Query)
 	if err != nil {
 		ans.Err = err
@@ -111,7 +139,7 @@ func (m *Manager) askOne(ans *BatchAnswer, ep *snapshot) {
 			ans.Err = err
 			return
 		}
-		t := time.Now()
+		t := obs.Now()
 		res, err := plan.Eval(ep.fs.graph)
 		if err != nil {
 			ans.Err = err
@@ -119,12 +147,12 @@ func (m *Manager) askOne(ans *BatchAnswer, ep *snapshot) {
 		}
 		m.snapshotHits.Add(1)
 		stats := ep.stats.clone()
-		stats.EvalTime = time.Since(t)
+		stats.EvalTime = obs.Since(t)
 		stats.SnapshotUsed = true
 		stats.Delta = m.DeltaCounters()
 		stats.Persist = m.persistCountersValue()
 		ans.Result, ans.Stats = res, stats
 		return
 	}
-	ans.Result, ans.Stats, ans.Err = m.queryAnalyzed(q, canon, an)
+	ans.Result, ans.Stats, ans.Err = m.queryAnalyzed(q, canon, an, tr)
 }

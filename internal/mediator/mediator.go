@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/feed"
 	"repro/internal/gml"
 	"repro/internal/lorel"
+	"repro/internal/obs"
 	"repro/internal/oem"
 	"repro/internal/qcache"
 	"repro/internal/snapstore"
@@ -56,6 +58,10 @@ type Options struct {
 	// full rebuild (<= 0 selects DefaultMaxDeltaFraction). Past the bound,
 	// patching entity by entity costs more than refusing.
 	MaxDeltaFraction float64
+	// Obs wires the observability layer (per-op latency histograms,
+	// request traces, scrape-time counter collectors). nil disables all
+	// instrumentation at the cost of one predictable branch per site.
+	Obs *obs.Obs
 }
 
 // DefaultMaxDeltaFraction is the changed-fraction bound above which a
@@ -268,6 +274,19 @@ type Manager struct {
 	hub        *feed.Hub
 	standingMu sync.Mutex
 	standingQs map[*StandingQuery]struct{}
+
+	// Observability handles, resolved once by initObs (see obs.go). All
+	// nil when Options.Obs is nil; the obs API is nil-receiver-safe, so
+	// instrumented sites stay unconditional.
+	o            *obs.Obs
+	opQueryDur   *obs.Histogram
+	opBatchDur   *obs.Histogram
+	opRefreshDur *obs.Histogram
+	opCkptDur    *obs.Histogram
+	opRestoreDur *obs.Histogram
+	opQueryErr   *obs.Counter
+	opBatchErr   *obs.Counter
+	opRefreshErr *obs.Counter
 }
 
 // SnapshotCounters reports how many computed queries took the fused-snapshot
@@ -297,6 +316,7 @@ func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
 		m.plans = qcache.New(opts.CacheSize, 0) // plans never age out
 		m.hub = feed.NewHub()
 	}
+	m.initObs(opts.Obs)
 	return m
 }
 
@@ -365,11 +385,19 @@ func (m *Manager) Registry() *wrapper.Registry { return m.reg }
 // QueryString parses and runs a Lorel query phrased in the global
 // vocabulary (from clauses over ANNODA-GML.<Concept>).
 func (m *Manager) QueryString(src string) (*lorel.Result, *Stats, error) {
+	return m.QueryStringCtx(context.Background(), src)
+}
+
+// QueryStringCtx is QueryString with a context. When ctx carries a trace
+// (obs.ContextWithTrace — the server's request-ID middleware), the query's
+// stages record into it; otherwise the mediator starts (and finishes) its
+// own trace when observability is enabled.
+func (m *Manager) QueryStringCtx(ctx context.Context, src string) (*lorel.Result, *Stats, error) {
 	q, err := lorel.Parse(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return m.Query(q)
+	return m.QueryCtx(ctx, q)
 }
 
 // Query decomposes, optimizes and executes a global Lorel query:
@@ -393,6 +421,14 @@ func (m *Manager) QueryString(src string) (*lorel.Result, *Stats, error) {
 // compiled plan is evaluated against one fused snapshot graph shared by
 // every query computed under the current source fingerprint — eval-only.
 func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
+	return m.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with a context (see QueryStringCtx for trace
+// semantics). The op histogram is observed for every call — independent
+// of trace sampling — so annoda_op_duration_seconds_count{op="query"}
+// equals the number of queries served.
+func (m *Manager) QueryCtx(ctx context.Context, q *lorel.Query) (*lorel.Result, *Stats, error) {
 	canon := q.String()
 	// Analysis runs before the cache lookup because the entry's
 	// invalidation tags must be known when the singleflight call starts:
@@ -405,18 +441,32 @@ func (m *Manager) Query(q *lorel.Query) (*lorel.Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return m.queryAnalyzed(q, canon, an)
+	if m.o == nil {
+		return m.queryAnalyzed(q, canon, an, nil)
+	}
+	tr, owned := m.traceFor(ctx, "query", canon)
+	t0 := obs.Now()
+	res, stats, err := m.queryAnalyzed(q, canon, an, tr)
+	m.opQueryDur.Observe(obs.Since(t0))
+	if err != nil {
+		m.opQueryErr.Inc()
+		tr.SetErr(err)
+	}
+	if owned {
+		tr.Finish()
+	}
+	return res, stats, err
 }
 
 // queryAnalyzed runs an already-canonicalized, already-analyzed query
 // through the cache (when enabled) and the compute pipeline — the shared
 // tail of Query and AskBatch's snapshot-unsafe fallback.
-func (m *Manager) queryAnalyzed(q *lorel.Query, canon string, an *analysis) (*lorel.Result, *Stats, error) {
+func (m *Manager) queryAnalyzed(q *lorel.Query, canon string, an *analysis, tr *obs.Trace) (*lorel.Result, *Stats, error) {
 	if m.cache == nil {
-		return m.queryCompute(q, canon, an)
+		return m.queryCompute(q, canon, an, tr)
 	}
-	v, stats, err := m.cachedDo("query\x00"+canon, an.cacheTags(m.opts), func() (any, *Stats, error) {
-		return pass(m.queryCompute(q, canon, an))
+	v, stats, err := m.cachedDo("query\x00"+canon, an.cacheTags(m.opts), tr, func() (any, *Stats, error) {
+		return pass(m.queryCompute(q, canon, an, tr))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -448,11 +498,15 @@ func (s *Stats) clone() *Stats {
 // fields must not be shared between callers. The tags scope the stored
 // entry for concept-level invalidation (RefreshSource drops only entries
 // whose tags intersect the changed source's concept).
-func (m *Manager) cachedDo(key string, tags []string, compute func() (any, *Stats, error)) (any, *Stats, error) {
+func (m *Manager) cachedDo(key string, tags []string, tr *obs.Trace, compute func() (any, *Stats, error)) (any, *Stats, error) {
 	m.ensureFresh()
 	type payload struct {
 		v     any
 		stats *Stats
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = obs.Now()
 	}
 	v, outcome, err := m.cache.DoTagged(key, tags, func() (any, error) {
 		val, stats, err := compute()
@@ -461,6 +515,17 @@ func (m *Manager) cachedDo(key string, tags []string, compute func() (any, *Stat
 		}
 		return &payload{v: val, stats: stats}, nil
 	})
+	if tr != nil {
+		// A miss's window is the whole computation, already described by
+		// the compute stages' own spans; record only the cache-side
+		// outcomes.
+		switch outcome {
+		case qcache.Hit:
+			tr.SpanNote(obs.StageCacheLookup, t0, "hit")
+		case qcache.Shared:
+			tr.Span(obs.StageSingleflightWait, t0)
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -499,10 +564,10 @@ func (m *Manager) planFor(q *lorel.Query, canon string) (*lorel.Plan, error) {
 
 // queryCompute runs one query, choosing between the eval-only snapshot fast
 // path and the full fetch+fuse pipeline.
-func (m *Manager) queryCompute(q *lorel.Query, canon string, an *analysis) (*lorel.Result, *Stats, error) {
+func (m *Manager) queryCompute(q *lorel.Query, canon string, an *analysis, tr *obs.Trace) (*lorel.Result, *Stats, error) {
 	if m.cache != nil {
 		if m.snapshotSafe(an, q) {
-			res, stats, err := m.querySnapshot(q, canon)
+			res, stats, err := m.querySnapshot(q, canon, tr)
 			if err == nil {
 				m.snapshotHits.Add(1) // count only answered queries
 			}
@@ -510,7 +575,7 @@ func (m *Manager) queryCompute(q *lorel.Query, canon string, an *analysis) (*lor
 		}
 		m.snapshotMisses.Add(1)
 	}
-	return m.execute(q, canon, an)
+	return m.execute(q, canon, an, tr)
 }
 
 // snapshot is one published fused-snapshot epoch. Everything it references
@@ -532,23 +597,35 @@ type snapshot struct {
 // is held during evaluation: the epoch is one atomic pointer load, its
 // graph is frozen, and a concurrent RefreshSource publishes a patched
 // clone instead of mutating what this query is reading.
-func (m *Manager) querySnapshot(q *lorel.Query, canon string) (*lorel.Result, *Stats, error) {
+func (m *Manager) querySnapshot(q *lorel.Query, canon string, tr *obs.Trace) (*lorel.Result, *Stats, error) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = obs.Now()
+	}
 	plan, err := m.planFor(q, canon)
 	if err != nil {
 		return nil, nil, err
+	}
+	if tr != nil {
+		tr.Span(obs.StagePlanCompile, t0)
+		t0 = obs.Now()
 	}
 	ep, _, err := m.pinEpoch()
 	if err != nil {
 		return nil, nil, err
 	}
-	t := time.Now()
+	if tr != nil {
+		tr.Span(obs.StageEpochPin, t0)
+	}
+	t := obs.Now()
 	res, err := plan.Eval(ep.fs.graph)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := ep.stats.clone()
-	stats.EvalTime = time.Since(t)
+	stats.EvalTime = obs.Since(t)
 	stats.SnapshotUsed = true
+	tr.SpanDur(obs.StageEval, t, stats.EvalTime, "")
 	return res, stats, nil
 }
 
@@ -609,33 +686,36 @@ func (m *Manager) publishLocked(s *snapshot) {
 }
 
 // execute runs the full pipeline for one analyzed query: fetch, fuse, eval.
-func (m *Manager) execute(q *lorel.Query, canon string, an *analysis) (*lorel.Result, *Stats, error) {
+func (m *Manager) execute(q *lorel.Query, canon string, an *analysis, tr *obs.Trace) (*lorel.Result, *Stats, error) {
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 
-	t0 := time.Now()
-	pops, err := m.fetch(an, stats, false)
+	t0 := obs.Now()
+	pops, err := m.fetch(an, stats, false, tr)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.FetchTime = time.Since(t0)
+	stats.FetchTime = obs.Since(t0)
+	tr.SpanDur(obs.StageFetch, t0, stats.FetchTime, "")
 
-	t1 := time.Now()
+	t1 := obs.Now()
 	fused, err := m.fuse(an, pops, stats)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.FuseTime = time.Since(t1)
+	stats.FuseTime = obs.Since(t1)
+	tr.SpanDur(obs.StageFuse, t1, stats.FuseTime, "")
 
 	plan, err := m.planFor(q, canon)
 	if err != nil {
 		return nil, nil, err
 	}
-	t2 := time.Now()
+	t2 := obs.Now()
 	res, err := plan.Eval(fused)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.EvalTime = time.Since(t2)
+	stats.EvalTime = obs.Since(t2)
+	tr.SpanDur(obs.StageEval, t2, stats.EvalTime, "")
 	return res, stats, nil
 }
 
@@ -743,18 +823,18 @@ func (m *Manager) WithFusedGraph(fn func(*oem.Graph, *Stats) error) error {
 func (m *Manager) buildFuseState() (*fuseState, *Stats, error) {
 	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
-	t0 := time.Now()
-	pops, err := m.fetch(an, stats, true)
+	t0 := obs.Now()
+	pops, err := m.fetch(an, stats, true, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.FetchTime = time.Since(t0)
-	t1 := time.Now()
+	stats.FetchTime = obs.Since(t0)
+	t1 := obs.Now()
 	rec := &fuseState{}
 	if _, err := m.fuseInto(an, pops, stats, rec); err != nil {
 		return nil, nil, err
 	}
-	stats.FuseTime = time.Since(t1)
+	stats.FuseTime = obs.Since(t1)
 	return rec, stats, nil
 }
 
@@ -765,18 +845,18 @@ func (m *Manager) buildFuseState() (*fuseState, *Stats, error) {
 func (m *Manager) fusedGraphUncached() (*oem.Graph, *Stats, error) {
 	an := &analysis{needAll: true, fromConcepts: map[string]string{}, pushdown: map[string][]lorel.Cond{}}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
-	t0 := time.Now()
-	pops, err := m.fetch(an, stats, false)
+	t0 := obs.Now()
+	pops, err := m.fetch(an, stats, false, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.FetchTime = time.Since(t0)
-	t1 := time.Now()
+	stats.FetchTime = obs.Since(t0)
+	t1 := obs.Now()
 	g, err := m.fuse(an, pops, stats)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.FuseTime = time.Since(t1)
+	stats.FuseTime = obs.Since(t1)
 	return g, stats, nil
 }
 
@@ -1011,7 +1091,7 @@ type population struct {
 // fetch translates each relevant source in parallel. hashed requests
 // per-entity structural hashes (snapshot builds need them; per-query
 // fetches skip the extra pass).
-func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool) ([]*population, error) {
+func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool, tr *obs.Trace) ([]*population, error) {
 	type job struct {
 		mapping *gml.SourceMapping
 		w       wrapper.Wrapper
@@ -1048,7 +1128,19 @@ func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool) ([]*population,
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		pop, fetched, err := m.fetchOne(j.w, j.mapping, condsFor[j.mapping.Concept], hashed)
+		var t0 time.Time
+		if tr != nil {
+			t0 = obs.Now()
+		}
+		conds := condsFor[j.mapping.Concept]
+		pop, fetched, err := m.fetchOne(j.w, j.mapping, conds, hashed)
+		if tr != nil {
+			stage := obs.StageFetch
+			if len(conds) > 0 {
+				stage = obs.StagePushdown
+			}
+			tr.SpanNote(stage, t0, j.w.Name())
+		}
 		if err != nil {
 			errs[i] = err
 			return

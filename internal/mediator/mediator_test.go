@@ -459,7 +459,7 @@ func TestPushdownFallbackCounted(t *testing.T) {
 		pushdown:     map[string][]lorel.Cond{"G": {bad}},
 	}
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}}
-	if _, err := m.fetch(an, stats, false); err != nil {
+	if _, err := m.fetch(an, stats, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if stats.PushdownFallbacks != fetched {

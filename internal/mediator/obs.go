@@ -1,0 +1,117 @@
+package mediator
+
+// Observability wiring. The mediator resolves its metric handles once at
+// construction (no map lookups on the hot path) and registers a scrape-time
+// collector that mirrors the cumulative cache/delta/persist/feed counters
+// into the registry — the owning hot paths pay nothing for exposition.
+//
+// Operation histograms (annoda_op_duration_seconds{op=...}) are observed
+// unconditionally, independent of trace sampling, so their _count always
+// equals the number of operations served. Per-stage histograms are fed
+// from sampled trace spans at Trace.Finish (see internal/obs).
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// initObs resolves metric handles and registers the counter collector.
+// With o == nil every handle stays nil and the nil-safe obs API makes all
+// instrumentation free.
+func (m *Manager) initObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m.o = o
+	m.opQueryDur = o.M.OpDur.With("query")
+	m.opBatchDur = o.M.OpDur.With("batch")
+	m.opRefreshDur = o.M.OpDur.With("refresh")
+	m.opCkptDur = o.M.OpDur.With("checkpoint")
+	m.opRestoreDur = o.M.OpDur.With("restore")
+	m.opQueryErr = o.M.OpErr.With("query")
+	m.opBatchErr = o.M.OpErr.With("batch")
+	m.opRefreshErr = o.M.OpErr.With("refresh")
+
+	reg := o.Reg
+	cacheHits := reg.Counter("annoda_cache_hits_total", "Result-cache hits.")
+	cacheMisses := reg.Counter("annoda_cache_misses_total", "Result-cache misses (computations run).")
+	cacheShared := reg.Counter("annoda_cache_shared_total", "Queries that joined an in-flight identical computation (singleflight).")
+	cacheEvict := reg.Counter("annoda_cache_evictions_total", "Result-cache LRU evictions.")
+	cacheExpired := reg.Counter("annoda_cache_expired_total", "Result-cache TTL expiries.")
+	cacheInval := reg.Counter("annoda_cache_invalidations_total", "Cached results dropped by tag-scoped invalidation.")
+	cacheEntries := reg.Gauge("annoda_cache_entries", "Result-cache resident entries.")
+	cacheInFlight := reg.Gauge("annoda_cache_in_flight", "Singleflight computations currently running.")
+	snapHits := reg.Counter("annoda_snapshot_hits_total", "Computed queries answered eval-only against the fused snapshot.")
+	snapMisses := reg.Counter("annoda_snapshot_misses_total", "Computed queries that ran the full fetch+fuse pipeline.")
+	epochsPub := reg.Counter("annoda_epochs_published_total", "Fused-snapshot epoch publications.")
+	epochPins := reg.Counter("annoda_epoch_pins_total", "Lock-free epoch acquisitions by the read path.")
+	deltasApplied := reg.Counter("annoda_deltas_applied_total", "Source refreshes absorbed incrementally.")
+	entitiesPatched := reg.Counter("annoda_entities_patched_total", "Entity-level changes applied to the fused snapshot.")
+	fullRebuilds := reg.Counter("annoda_full_rebuilds_total", "Refreshes that fell back to a full rebuild.")
+	ckpts := reg.Counter("annoda_checkpoints_written_total", "Snapshot checkpoints written.")
+	walAppended := reg.Counter("annoda_wal_records_appended_total", "ChangeSet records appended to delta WALs.")
+	walReplayed := reg.Counter("annoda_wal_records_replayed_total", "WAL records replayed during restores.")
+	restores := reg.Counter("annoda_restores_total", "Successful warm restores from disk.")
+	persistErrs := reg.Counter("annoda_persist_errors_total", "Absorbed persistence failures.")
+	feedPublished := reg.Counter("annoda_feed_events_published_total", "Change-feed events published.")
+	feedDelivered := reg.Counter("annoda_feed_events_delivered_total", "Change-feed events delivered to subscribers.")
+	feedDropped := reg.Counter("annoda_feed_events_dropped_total", "Change-feed events dropped to subscriber overflow.")
+	feedOverflows := reg.Counter("annoda_feed_overflows_total", "Subscriber buffer overflows (loss markers sent).")
+	feedSubs := reg.Gauge("annoda_feed_subscribers", "Live change-feed subscribers.")
+	reg.OnGather(func() {
+		if c, ok := m.CacheCounters(); ok {
+			cacheHits.Set(uint64(c.Hits))
+			cacheMisses.Set(uint64(c.Misses))
+			cacheShared.Set(uint64(c.Shared))
+			cacheEvict.Set(uint64(c.Evictions))
+			cacheExpired.Set(uint64(c.Expired))
+			cacheInval.Set(uint64(c.Invalidations))
+			cacheEntries.Set(int64(c.Entries))
+			cacheInFlight.Set(int64(c.InFlight))
+		}
+		if s, ok := m.SnapshotCounters(); ok {
+			snapHits.Set(uint64(s.Hits))
+			snapMisses.Set(uint64(s.Misses))
+		}
+		d := m.DeltaCounters()
+		epochsPub.Set(uint64(d.EpochsPublished))
+		epochPins.Set(uint64(d.EpochPins))
+		deltasApplied.Set(uint64(d.DeltasApplied))
+		entitiesPatched.Set(uint64(d.EntitiesPatched))
+		fullRebuilds.Set(uint64(d.FullRebuilds))
+		if p, ok := m.PersistCounters(); ok {
+			ckpts.Set(uint64(p.CheckpointsWritten))
+			walAppended.Set(uint64(p.WALAppended))
+			walReplayed.Set(uint64(p.WALReplayed))
+			restores.Set(uint64(p.Restores))
+			persistErrs.Set(uint64(p.Errors))
+		}
+		f := m.feedCountersValue()
+		feedPublished.Set(uint64(f.Published))
+		feedDelivered.Set(uint64(f.Delivered))
+		feedDropped.Set(uint64(f.Dropped))
+		feedOverflows.Set(uint64(f.Overflows))
+		feedSubs.Set(int64(f.Subscribers))
+	})
+}
+
+// Obs returns the observability bundle the manager was built with (nil
+// when observability is off). The server shares it for HTTP metrics and
+// the /api/debug/traces rings.
+func (m *Manager) Obs() *obs.Obs { return m.o }
+
+// traceFor returns the trace an operation should record into: the
+// request's trace when the context carries one (the server's middleware
+// started it and will finish it), otherwise a fresh mediator-owned trace.
+// owned reports whether the caller must Finish it.
+func (m *Manager) traceFor(ctx context.Context, op, detail string) (tr *obs.Trace, owned bool) {
+	if tr = obs.TraceFrom(ctx); tr != nil {
+		tr.Annotate(detail)
+		return tr, false
+	}
+	if m.o == nil {
+		return nil, false
+	}
+	return m.o.Start(op, detail), true
+}

@@ -20,11 +20,13 @@ package mediator
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/delta"
+	"repro/internal/obs"
 	"repro/internal/snapstore"
 )
 
@@ -140,6 +142,31 @@ type SaveResult struct {
 // building the epoch first when none exists. The previous checkpoint is
 // retained as the recovery ladder's fallback rung; the WAL restarts empty.
 func (m *Manager) SaveSnapshot() (*SaveResult, error) {
+	return m.SaveSnapshotCtx(context.Background())
+}
+
+// SaveSnapshotCtx is SaveSnapshot recording into the request trace carried
+// by ctx (or a fresh one when observability is on and ctx has none).
+func (m *Manager) SaveSnapshotCtx(ctx context.Context) (*SaveResult, error) {
+	if m.o == nil {
+		return m.saveSnapshot()
+	}
+	tr, owned := m.traceFor(ctx, "checkpoint", "")
+	t0 := obs.Now()
+	res, err := m.saveSnapshot()
+	d := obs.Since(t0)
+	m.opCkptDur.Observe(d)
+	tr.SpanDur(obs.StageCheckpoint, t0, d, "")
+	if err != nil {
+		tr.SetErr(err)
+	}
+	if owned {
+		tr.Finish()
+	}
+	return res, err
+}
+
+func (m *Manager) saveSnapshot() (*SaveResult, error) {
 	if m.store == nil {
 		return nil, errors.New("mediator: persistence not enabled")
 	}
@@ -162,7 +189,7 @@ func (m *Manager) SaveSnapshot() (*SaveResult, error) {
 // checkpoint and the fresh WAL it opens must describe exactly one
 // publication point, or replay would double-apply.
 func (m *Manager) saveLocked(ep *snapshot) (*SaveResult, error) {
-	start := time.Now()
+	start := obs.Now()
 	payload, err := encodeSnapshotPayload(ep)
 	if err != nil {
 		m.persistErrors.Add(1)
@@ -177,7 +204,12 @@ func (m *Manager) saveLocked(ep *snapshot) (*SaveResult, error) {
 	m.diskEpoch.Store(ep)
 	m.checkpointsWritten.Add(1)
 	m.checkpointBytes.Add(int64(len(payload)))
-	return &SaveResult{Seq: seq, Bytes: len(payload), Took: time.Since(start)}, nil
+	took := obs.Since(start)
+	if m.o != nil {
+		m.o.M.CkptDur.Observe(took)
+		m.o.M.CkptBytes.Add(uint64(len(payload)))
+	}
+	return &SaveResult{Seq: seq, Bytes: len(payload), Took: took}, nil
 }
 
 // persistDeltaLocked makes one applied ChangeSet durable: encode, append
@@ -194,7 +226,7 @@ func (m *Manager) saveLocked(ep *snapshot) (*SaveResult, error) {
 // epoch that never reached the store; an earlier append failure), the
 // whole published world is checkpointed instead of logging a delta
 // against a base it does not have.
-func (m *Manager) persistDeltaLocked(cs *delta.ChangeSet, cur, published *snapshot) {
+func (m *Manager) persistDeltaLocked(cs *delta.ChangeSet, cur, published *snapshot, tr *obs.Trace) {
 	if m.store == nil {
 		return
 	}
@@ -203,6 +235,7 @@ func (m *Manager) persistDeltaLocked(cs *delta.ChangeSet, cur, published *snapsh
 		m.saveLocked(published)
 		return
 	}
+	start := obs.Now()
 	var buf bytes.Buffer
 	if err := delta.EncodeChangeSet(&buf, cs); err != nil {
 		m.persistErrors.Add(1)
@@ -213,6 +246,12 @@ func (m *Manager) persistDeltaLocked(cs *delta.ChangeSet, cur, published *snapsh
 		return
 	}
 	m.walAppended.Add(1)
+	d := obs.Since(start)
+	tr.SpanDur(obs.StageWALAppend, start, d, "")
+	if m.o != nil {
+		m.o.M.WALDur.Observe(d)
+		m.o.M.WALBytes.Add(uint64(buf.Len()))
+	}
 	m.diskEpoch.Store(published)
 	if recs, bytes := m.store.WALStats(); recs >= m.persistPol.EveryRecords || bytes >= m.persistPol.EveryBytes {
 		m.saveLocked(published) // counts its own failures
@@ -281,10 +320,33 @@ type RestoreResult struct {
 // the sources as found at boot (refreshes that never reached the store
 // are caught up by the next RefreshSource).
 func (m *Manager) LoadSnapshot() (*RestoreResult, error) {
+	return m.LoadSnapshotCtx(context.Background())
+}
+
+// LoadSnapshotCtx is LoadSnapshot recording into the request trace carried
+// by ctx (or a fresh one when observability is on and ctx has none).
+func (m *Manager) LoadSnapshotCtx(ctx context.Context) (*RestoreResult, error) {
+	if m.o == nil {
+		return m.loadSnapshot(nil)
+	}
+	tr, owned := m.traceFor(ctx, "restore", "")
+	t0 := obs.Now()
+	rr, err := m.loadSnapshot(tr)
+	m.opRestoreDur.Observe(obs.Since(t0))
+	if err != nil {
+		tr.SetErr(err)
+	}
+	if owned {
+		tr.Finish()
+	}
+	return rr, err
+}
+
+func (m *Manager) loadSnapshot(tr *obs.Trace) (*RestoreResult, error) {
 	if m.store == nil {
 		return nil, errors.New("mediator: persistence not enabled")
 	}
-	start := time.Now()
+	start := obs.Now()
 	rr := &RestoreResult{}
 	seqs, err := m.store.Checkpoints()
 	if err != nil {
@@ -322,7 +384,9 @@ func (m *Manager) LoadSnapshot() (*RestoreResult, error) {
 		rr.WALReplayed = replayed
 		rr.Objects = ep.fs.graph.Len()
 		rr.Genes = len(ep.fs.genes)
-		rr.Took = time.Since(start)
+		rr.Took = obs.Since(start)
+		tr.SpanDur(obs.StageRestore, start, rr.Took,
+			fmt.Sprintf("seq %d, %d WAL records", seq, replayed))
 		m.persistRestores.Add(1)
 		m.walReplayed.Add(int64(replayed))
 		m.restoreNanos.Store(int64(rr.Took))
@@ -332,7 +396,7 @@ func (m *Manager) LoadSnapshot() (*RestoreResult, error) {
 	if len(seqs) == 0 {
 		rr.Reason = "no checkpoint on disk"
 	}
-	rr.Took = time.Since(start)
+	rr.Took = obs.Since(start)
 	return rr, nil
 }
 

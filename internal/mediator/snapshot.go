@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/delta"
 	"repro/internal/gml"
+	"repro/internal/obs"
 	"repro/internal/oem"
 )
 
@@ -863,11 +865,37 @@ type RefreshResult struct {
 // behaviour — drop everything, rebuild on next use — so it is always safe
 // to call.
 func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
+	return m.RefreshSourceCtx(context.Background(), name)
+}
+
+// RefreshSourceCtx is RefreshSource recording into the request trace
+// carried by ctx (or a fresh one when observability is on and ctx has
+// none). The refresh's diff, patch, WAL-append, invalidation and
+// standing-query stages show up as spans.
+func (m *Manager) RefreshSourceCtx(ctx context.Context, name string) (*RefreshResult, error) {
+	if m.o == nil {
+		return m.refreshSource(name, nil)
+	}
+	tr, owned := m.traceFor(ctx, "refresh", name)
+	t0 := obs.Now()
+	rr, err := m.refreshSource(name, tr)
+	m.opRefreshDur.Observe(obs.Since(t0))
+	if err != nil {
+		m.opRefreshErr.Inc()
+		tr.SetErr(err)
+	}
+	if owned {
+		tr.Finish()
+	}
+	return rr, err
+}
+
+func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, error) {
 	w := m.reg.Get(name)
 	if w == nil {
 		return nil, fmt.Errorf("mediator: source %q not registered", name)
 	}
-	start := time.Now()
+	start := obs.Now()
 	rr := &RefreshResult{Source: name, OldVersion: w.Version()}
 	mp := m.gl.MappingFor(name)
 
@@ -879,7 +907,7 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 		rr.FullRebuild = true
 		rr.Reason = "delta maintenance needs the result cache and a mapped source"
 		m.fullRebuilds.Add(1)
-		rr.Took = time.Since(start)
+		rr.Took = obs.Since(start)
 		return rr, nil
 	}
 
@@ -906,6 +934,7 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 		rr.FullRebuild = true
 		rr.Reason = reason
 		m.fullRebuilds.Add(1)
+		tr.Annotate("full rebuild: " + reason)
 		var seq, fp uint64
 		m.epochMu.Lock()
 		m.cache.Invalidate()
@@ -924,9 +953,11 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 		m.epochMu.Unlock()
 		if seq != 0 {
 			release()
+			ts := obs.Now()
 			m.evalStandingFresh(seq, []string{"*"})
+			tr.Span(obs.StageStandingEval, ts)
 		}
-		rr.Took = time.Since(start)
+		rr.Took = obs.Since(start)
 		return rr, nil
 	}
 
@@ -965,11 +996,13 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 		}
 	}
 	if cs == nil {
+		td := obs.Now()
 		if oldCounts != nil {
 			cs, err = delta.DiffAgainst(oldCounts, newModel, w.Name(), w.EntityLabel())
 		} else {
 			cs, err = delta.Diff(oldModel, newModel, w.Name(), w.EntityLabel())
 		}
+		tr.SpanNote(obs.StageDiff, td, name)
 		if err != nil {
 			return fullRebuild("diff failed: " + err.Error())
 		}
@@ -992,6 +1025,7 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	// patched — patching anything newer would double-apply.
 	var publishedEp *snapshot
 	var feedSeq uint64
+	tp := obs.Now()
 	m.epochMu.Lock()
 	if cur := m.epoch.Load(); cur != nil && cur.fp == fpBefore {
 		if cs.Empty() {
@@ -1019,7 +1053,7 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 			m.publishLocked(published)
 			// Make the delta durable before releasing the writer lock, so
 			// WAL order always matches epoch publication order.
-			m.persistDeltaLocked(cs, cur, published)
+			m.persistDeltaLocked(cs, cur, published, tr)
 			publishedEp = published
 		}
 		rr.Patched = true
@@ -1029,9 +1063,18 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	// order == epoch publication order == WAL order, by construction.
 	// Empty deltas touch no concepts and publish no event.
 	if !cs.Empty() {
+		tf := obs.Now()
 		feedSeq = m.publishChangeLocked(cs, mp.Concept, fpAfter)
+		d := obs.Since(tf)
+		tr.SpanDur(obs.StageFeedPublish, tf, d, "")
+		if m.o != nil {
+			m.o.M.FeedPubDur.Observe(d)
+		}
 	}
 	m.epochMu.Unlock()
+	if rr.Patched {
+		tr.SpanNote(obs.StageDeltaPatch, tp, fmt.Sprintf("%d changes", cs.Size()))
+	}
 
 	m.deltasApplied.Add(1)
 	m.entitiesPatched.Add(int64(cs.Size()))
@@ -1041,7 +1084,9 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	// entries before publishing the new fingerprint, so no query can hit
 	// them once ensureFresh stands down.
 	if !cs.Empty() {
+		ti := obs.Now()
 		n := m.cache.InvalidateTags([]string{mp.Concept})
+		tr.SpanNote(obs.StageInvalidate, ti, fmt.Sprintf("%d dropped", n))
 		m.selectiveInvalidations.Add(int64(n))
 		rr.Invalidated = n
 	}
@@ -1054,13 +1099,15 @@ func (m *Manager) RefreshSource(name string) (*RefreshResult, error) {
 	// so a fresh pin builds the post-refresh world instead of serving the
 	// old one.
 	if feedSeq != 0 {
+		ts := obs.Now()
 		if publishedEp != nil {
 			m.evalStanding(feedSeq, []string{mp.Concept}, publishedEp)
 		} else {
 			release()
 			m.evalStandingFresh(feedSeq, []string{mp.Concept})
 		}
+		tr.Span(obs.StageStandingEval, ts)
 	}
-	rr.Took = time.Since(start)
+	rr.Took = obs.Since(start)
 	return rr, nil
 }

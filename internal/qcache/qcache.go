@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ShardCount is the number of hash partitions, sized at init from the
@@ -74,12 +76,14 @@ func (o Outcome) String() string {
 
 // Counters is a snapshot of the cache's cumulative activity.
 type Counters struct {
-	Hits      int64 // lookups answered from the cache
-	Misses    int64 // lookups that ran the compute function
-	Shared    int64 // lookups collapsed onto another in-flight compute
-	Evictions int64 // entries pushed out by the LRU bound
-	Expired   int64 // entries dropped because their TTL lapsed
-	Entries   int   // live entries right now
+	Hits          int64 // lookups answered from the cache
+	Misses        int64 // lookups that ran the compute function
+	Shared        int64 // lookups collapsed onto another in-flight compute
+	Evictions     int64 // entries pushed out by the LRU bound
+	Expired       int64 // entries dropped because their TTL lapsed
+	Invalidations int64 // stored entries dropped by Invalidate/InvalidateTags
+	Entries       int   // live entries right now
+	InFlight      int   // singleflight computations running right now
 }
 
 // Cache is the sharded LRU. The zero value is not usable; call New.
@@ -90,12 +94,14 @@ type Cache struct {
 	perCap int
 	gen    atomic.Uint64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	shared    atomic.Int64
-	evictions atomic.Int64
-	expired   atomic.Int64
-	entries   atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	shared        atomic.Int64
+	evictions     atomic.Int64
+	expired       atomic.Int64
+	invalidations atomic.Int64
+	entries       atomic.Int64
+	computing     atomic.Int64
 
 	// now is the clock; tests swap it to drive TTL expiry deterministically.
 	now func() time.Time
@@ -147,7 +153,7 @@ func New(capacity int, ttl time.Duration) *Cache {
 	if perCap < 1 {
 		perCap = 1
 	}
-	c := &Cache{seed: maphash.MakeSeed(), ttl: ttl, perCap: perCap, now: time.Now,
+	c := &Cache{seed: maphash.MakeSeed(), ttl: ttl, perCap: perCap, now: obs.Now,
 		shards: make([]shard, ShardCount)}
 	for i := range c.shards {
 		c.shards[i].entries = map[string]*list.Element{}
@@ -260,6 +266,7 @@ func (c *Cache) DoTagged(key string, tags []string, fn func() (any, error)) (any
 	sh.mu.Unlock()
 
 	c.misses.Add(1)
+	c.computing.Add(1)
 	// The bookkeeping is deferred so a panicking fn cannot wedge the key:
 	// without it the inflight entry would never be removed and every later
 	// caller would block forever in wg.Wait.
@@ -276,6 +283,7 @@ func (c *Cache) DoTagged(key string, tags []string, fn func() (any, error)) (any
 			c.putLocked(sh, key, cl.val, cl.tags)
 		}
 		sh.mu.Unlock()
+		c.computing.Add(-1)
 		cl.wg.Done()
 	}()
 	cl.err = errPanicked
@@ -331,6 +339,7 @@ func (c *Cache) InvalidateTags(tags []string) int {
 		}
 		sh.mu.Unlock()
 	}
+	c.invalidations.Add(int64(dropped))
 	return dropped
 }
 
@@ -353,6 +362,7 @@ func (c *Cache) Invalidate() {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		c.entries.Add(-int64(sh.lru.Len()))
+		c.invalidations.Add(int64(sh.lru.Len()))
 		sh.entries = map[string]*list.Element{}
 		sh.lru.Init()
 		sh.mu.Unlock()
@@ -367,11 +377,13 @@ func (c *Cache) Len() int { return int(c.entries.Load()) }
 // Counters snapshots the cumulative hit/miss/evict counters.
 func (c *Cache) Counters() Counters {
 	return Counters{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Shared:    c.shared.Load(),
-		Evictions: c.evictions.Load(),
-		Expired:   c.expired.Load(),
-		Entries:   c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Shared:        c.shared.Load(),
+		Evictions:     c.evictions.Load(),
+		Expired:       c.expired.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+		InFlight:      int(c.computing.Load()),
 	}
 }
