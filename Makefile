@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint fmt-check build test race fuzz-smoke bench bench-smoke metrics-check serve clean
+.PHONY: check vet lint fmt-check build test race fuzz-smoke bench bench-smoke metrics-check chaos-smoke serve clean
 
 # check is the tier-1 gate: formatting, vet, the project-invariant lint
 # suite, build, and the full test tree under -race.
@@ -80,6 +80,17 @@ metrics-check:
 	curl -fsS "http://127.0.0.1:18077/api/query?q=select%20G%20from%20ANNODA-GML.Gene%20G" >/dev/null; \
 	curl -fsS http://127.0.0.1:18077/metrics -o /tmp/annoda-scrape.txt; \
 	/tmp/annoda-lint-ci -prom /tmp/annoda-scrape.txt
+
+# chaos-smoke runs the fault-tolerance battery on its own, under -race and
+# with the remaining -run filter widened to the breaker/fault-injection
+# suites: the deterministic chaos soak (injected source faults under
+# concurrent query/batch/refresh load), degraded-mode fusion, breaker
+# probe-rate capping, and the health/faults unit tests. `make race` already
+# includes these; this target is the fast loop for iterating on the
+# fault-tolerance layer and the CI step that names it in the UI.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'Chaos|Degraded|Breaker|Strict' ./internal/mediator
+	$(GO) test -race -count=1 ./internal/health ./internal/faults
 
 serve:
 	$(GO) run ./cmd/annoda-server

@@ -22,7 +22,11 @@
 //	             histograms plus cache, epoch, WAL, checkpoint and feed
 //	             counters
 //	/healthz     liveness probe
-//	/statsz      request, cache, delta, persistence and warehouse counters
+//	/readyz      readiness probe: "ready"/"degraded" answer 200 (degraded
+//	             replicas still serve the healthy subset), "down" answers
+//	             503; -ready-strict turns degraded into 503 too
+//	/statsz      request, cache, delta, persistence, warehouse and
+//	             per-source health counters
 //
 // Every response carries an X-Request-ID header; error bodies, panic logs
 // and timeout bodies repeat the ID so a client-side failure can be joined
@@ -37,6 +41,16 @@
 // "localhost:6060") so lock-contention and CPU claims about the serving
 // path are profileable in production without exposing the profiler on the
 // public listener. Off by default.
+//
+// Source fault tolerance (see DESIGN.md "Fault tolerance"): every source
+// fetch runs under a circuit breaker with bounded retries (-source-timeout,
+// -source-retries, -breaker-threshold, -breaker-backoff,
+// -breaker-backoff-max). With -min-sources N > 0 the mediator keeps
+// answering from the healthy subset when sources fail — answers and /statsz
+// report the missing sources — while -require-sources lists sources whose
+// failure must stay fatal. -health-probe INTERVAL starts a background loop
+// that probes unhealthy sources and folds recovered ones back into the
+// serving world.
 //
 // -data-dir DIR enables the durable snapshot store: on boot the server
 // restores the fused annotation world from the newest valid checkpoint
@@ -68,6 +82,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/health"
 	"repro/internal/mediator"
 	"repro/internal/obs"
 	"repro/internal/snapstore"
@@ -99,6 +114,15 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, the default)")
 	traceRing := flag.Int("trace-ring", 0, "recent-trace ring capacity (0 = default)")
 	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold (0 = default)")
+	srcTimeout := flag.Duration("source-timeout", 0, "per-attempt source fetch deadline (0 = none)")
+	srcRetries := flag.Int("source-retries", 0, "in-fetch retries before a source failure is charged to its breaker")
+	brThreshold := flag.Int("breaker-threshold", 0, "consecutive failures before a source's breaker opens (0 = default)")
+	brBackoff := flag.Duration("breaker-backoff", 0, "initial breaker backoff window (0 = default)")
+	brBackoffMax := flag.Duration("breaker-backoff-max", 0, "breaker backoff window cap (0 = default)")
+	healthProbe := flag.Duration("health-probe", 0, "probe unhealthy sources at this interval and re-admit recovered ones (0 = disabled)")
+	minSources := flag.Int("min-sources", 0, "answer from the healthy subset while at least this many sources survive (0 = strict: any source failure fails the query)")
+	requireSources := flag.String("require-sources", "", "comma-separated sources whose failure is always fatal, even in degraded mode")
+	readyStrict := flag.Bool("ready-strict", false, "/readyz answers 503 when degraded instead of 200")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -116,10 +140,25 @@ func main() {
 
 	cfg := datagen.DefaultConfig()
 	cfg.Genes = *genes
+	var required []string
+	for _, s := range strings.Split(*requireSources, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			required = append(required, s)
+		}
+	}
 	sys, err := core.New(datagen.Generate(cfg), mediator.Options{
-		CacheSize:    *cacheSize,
-		CacheTTL:     *cacheTTL,
-		DisableCache: *noCache,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		DisableCache:   *noCache,
+		FetchTimeout:   *srcTimeout,
+		FetchRetries:   *srcRetries,
+		MinSources:     *minSources,
+		RequireSources: required,
+		Health: health.Config{
+			FailureThreshold: *brThreshold,
+			BaseBackoff:      *brBackoff,
+			MaxBackoff:       *brBackoffMax,
+		},
 		Obs: obs.New(obs.Config{
 			SampleEvery:   *traceSample,
 			RingSize:      *traceRing,
@@ -164,8 +203,12 @@ func main() {
 	wh := warehouse.New(sys.Registry, sys.Global)
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMuxWatch(sys, wh, *reqTimeout, *watchHeartbeat),
+		Addr: *addr,
+		Handler: newMuxCfg(sys, wh, muxConfig{
+			timeout:     *reqTimeout,
+			heartbeat:   *watchHeartbeat,
+			readyStrict: *readyStrict,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -173,6 +216,9 @@ func main() {
 	// requests, then exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *healthProbe > 0 {
+		go probeLoop(ctx, sys.Manager, *healthProbe)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("annoda-server listening on %s", *addr)
@@ -197,6 +243,42 @@ func main() {
 			log.Printf("final snapshot flush: %v", err)
 		} else if saved {
 			log.Printf("final snapshot flushed: seq %d, %d bytes in %v", res.Seq, res.Bytes, res.Took.Round(time.Millisecond))
+		}
+	}
+}
+
+// probeLoop periodically probes every source that is not fully serving
+// (breaker open/degraded, or missing from the fused epoch) and lets the
+// mediator re-admit the ones that answer. A *health.DownError just means
+// the breaker's backoff window has not elapsed — silent, by design: the
+// loop ticks much faster than an outage resolves, and logging every
+// refused probe would drown the log. Real probe failures and recoveries
+// are both worth a line.
+func probeLoop(ctx context.Context, m *mediator.Manager, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, sh := range m.SourceHealth() {
+			if sh.StateCode == int(health.StateHealthy) && !sh.MissingFromEpoch {
+				continue
+			}
+			pctx, cancel := context.WithTimeout(ctx, every)
+			err := m.ProbeSource(pctx, sh.Source)
+			cancel()
+			var down *health.DownError
+			switch {
+			case err == nil:
+				log.Printf("source %s recovered; re-admitted to the serving world", sh.Source)
+			case errors.As(err, &down):
+				// Breaker still cooling off; try again next tick.
+			default:
+				log.Printf("source %s probe failed: %v", sh.Source, err)
+			}
 		}
 	}
 }

@@ -320,6 +320,60 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyz: a healthy system is "ready" with every source's breaker
+// state in the body, under both lenient and strict modes.
+func TestReadyz(t *testing.T) {
+	for _, strict := range []bool{false, true} {
+		h := newMuxCfg(testSystem(t), nil, muxConfig{readyStrict: strict})
+		rec := get(t, h, "/readyz")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /readyz (strict=%v) = %d", strict, rec.Code)
+		}
+		var resp struct {
+			Status  string `json:"status"`
+			Sources []struct {
+				Source string `json:"source"`
+				State  string `json:"state"`
+			} `json:"sources"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != "ready" {
+			t.Fatalf("healthy system not ready: %+v", resp)
+		}
+		if len(resp.Sources) < 3 {
+			t.Fatalf("readyz lists %d sources, want every registered one", len(resp.Sources))
+		}
+		for _, src := range resp.Sources {
+			if src.State != "healthy" {
+				t.Errorf("source %s reported %q on a healthy system", src.Source, src.State)
+			}
+		}
+	}
+}
+
+// TestStatszHealthBlock: /statsz carries the same per-source health view.
+func TestStatszHealthBlock(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	rec := get(t, h, "/statsz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /statsz = %d", rec.Code)
+	}
+	var resp struct {
+		Health *struct {
+			Status  string            `json:"status"`
+			Sources []json.RawMessage `json:"sources"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Health == nil || resp.Health.Status != "ready" || len(resp.Health.Sources) < 3 {
+		t.Fatalf("statsz health block wrong: %+v", resp.Health)
+	}
+}
+
 func TestStatszCountsRequestsAndCache(t *testing.T) {
 	h := newMux(testSystem(t), nil, 0)
 	get(t, h, "/healthz")

@@ -32,12 +32,25 @@ const defaultRequestTimeout = 30 * time.Second
 // warehouse whose refresh activity /statsz surfaces (nil disables it).
 // timeout <= 0 selects defaultRequestTimeout.
 func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) http.Handler {
-	return newMuxWatch(sys, wh, timeout, 0)
+	return newMuxCfg(sys, wh, muxConfig{timeout: timeout})
 }
 
 // newMuxWatch is newMux plus the change-feed heartbeat interval for
 // /api/watch (<= 0 selects defaultWatchHeartbeat).
-//
+func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat time.Duration) http.Handler {
+	return newMuxCfg(sys, wh, muxConfig{timeout: timeout, heartbeat: heartbeat})
+}
+
+// muxConfig bundles the handler-tree knobs main wires from flags.
+type muxConfig struct {
+	timeout   time.Duration // per-request deadline (<= 0: defaultRequestTimeout)
+	heartbeat time.Duration // /api/watch SSE keep-alive (<= 0: defaultWatchHeartbeat)
+	// readyStrict makes /readyz answer 503 for a degraded (but still
+	// answering) mediator, for fleets that prefer ejecting a degraded
+	// replica over serving partial annotation worlds.
+	readyStrict bool
+}
+
 // The timeout wrap is route-aware: http.TimeoutHandler's buffered
 // ResponseWriter deliberately drops http.Flusher, so wrapping a streaming
 // route in it would stall every SSE event until the deadline killed the
@@ -45,7 +58,8 @@ func newMux(sys *core.System, wh *warehouse.Warehouse, timeout time.Duration) ht
 // its lifetime is bounded by the client disconnecting (request context)
 // and its liveness by the heartbeat ticker — while every request/response
 // route keeps the hard per-request deadline.
-func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat time.Duration) http.Handler {
+func newMuxCfg(sys *core.System, wh *warehouse.Warehouse, cfg muxConfig) http.Handler {
+	timeout, heartbeat := cfg.timeout, cfg.heartbeat
 	if timeout <= 0 {
 		timeout = defaultRequestTimeout
 	}
@@ -59,7 +73,7 @@ func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat t
 	if o == nil {
 		o = obs.New(obs.Config{Logf: log.Printf})
 	}
-	s := &server{sys: sys, wh: wh, o: o, start: obs.Now(), heartbeat: heartbeat, logf: log.Printf}
+	s := &server{sys: sys, wh: wh, o: o, start: obs.Now(), heartbeat: heartbeat, readyStrict: cfg.readyStrict, logf: log.Printf}
 
 	mux := http.NewServeMux()
 	// HTML views (Figures 5a/5b/5c).
@@ -75,6 +89,7 @@ func newMuxWatch(sys *core.System, wh *warehouse.Warehouse, timeout, heartbeat t
 	mux.HandleFunc("/api/admin/checkpoint", s.apiCheckpoint)
 	// Operational endpoints.
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
 	mux.HandleFunc("/statsz", s.statsz)
 	mux.HandleFunc("/api/debug/traces", s.apiDebugTraces)
 	mux.Handle("/metrics", o.Reg.Handler())
@@ -137,9 +152,12 @@ type server struct {
 	o         *obs.Obs
 	start     time.Time
 	heartbeat time.Duration // /api/watch SSE keep-alive interval
-	logf      func(format string, args ...any)
-	requests  atomic.Int64
-	perPath   struct {
+	// readyStrict: /readyz answers 503 for a degraded mediator instead of
+	// 200 + "degraded".
+	readyStrict bool
+	logf        func(format string, args ...any)
+	requests    atomic.Int64
+	perPath     struct {
 		mu     sync.Mutex
 		counts map[string]int64
 	}
@@ -647,6 +665,25 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readyz is the readiness probe, distinct from /healthz liveness: the body
+// is the mediator's Readiness verdict (status + per-source breaker state).
+// "ready" and — by default — "degraded" answer 200, because a degraded
+// mediator is still answering from its healthy subset; "down" (a required
+// source unavailable, or below the MinSources floor) answers 503. With
+// -ready-strict, "degraded" answers 503 too, so a load balancer ejects
+// replicas serving partial annotation worlds.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	rd := s.sys.Manager.Readiness()
+	status := http.StatusOK
+	if rd.Status == "down" || (s.readyStrict && rd.Status != "ready") {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
 // statsz reports serving, cache, delta and warehouse counters.
 func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet) {
@@ -699,6 +736,12 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 		resp["warehouse"] = whJSON{Loads: s.wh.Loads(), Archives: s.wh.Archives()}
 	} else {
 		resp["warehouse"] = nil
+	}
+	rd := s.sys.Manager.Readiness()
+	resp["health"] = map[string]any{
+		"status":              rd.Status,
+		"sources":             rd.Sources,
+		"recovery_generation": s.sys.Manager.HealthGen(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -18,6 +18,9 @@
 //	snapshot info              inspect the newest restorable checkpoint in -data-dir
 //	watch [flags]              follow a running server's change feed (SSE)
 //	traces [flags]             dump a running server's recent/slow request traces
+//	sources [flags]            a running server's per-source health: breaker
+//	                           state, failure/retry/probe counters, epoch
+//	                           membership (-json for the raw /readyz payload)
 package main
 
 import (
@@ -70,6 +73,13 @@ func main() {
 	// `traces` likewise queries a running server's debug rings.
 	if args[0] == "traces" {
 		if err := tracesCmd(args[1:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// `sources` likewise renders a running server's /readyz health view.
+	if args[0] == "sources" {
+		if err := sourcesCmd(args[1:]); err != nil {
 			fatal(err)
 		}
 		return

@@ -15,6 +15,9 @@ import (
 //   - (*os.File).Close and (*os.File).Sync
 //   - (*snapstore.Store).AppendWAL
 //   - (*wire.Encoder).Flush
+//   - (*mediator.Manager).ProbeSource — a dropped probe error hides both
+//     "the source is still down" and real re-admission failures from the
+//     recovery loop
 //
 // A result is "dropped" when the call is an expression statement, a go
 // statement, or a defer. Assigning the error — including explicitly to
@@ -78,6 +81,8 @@ func criticalCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "(*snapstore.Store).AppendWAL", true
 	case fn.Name() == "Flush" && recvNamed(fn, "Encoder", "internal/wire"):
 		return "(*wire.Encoder).Flush", true
+	case fn.Name() == "ProbeSource" && recvNamed(fn, "Manager", "internal/mediator"):
+		return "(*mediator.Manager).ProbeSource", true
 	}
 	return "", false
 }

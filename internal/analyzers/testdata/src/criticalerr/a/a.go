@@ -3,8 +3,10 @@
 package a
 
 import (
+	"context"
 	"os"
 
+	"repro/internal/mediator"
 	"repro/internal/snapstore"
 	"repro/internal/wire"
 )
@@ -33,6 +35,14 @@ func dropAppendWAL(st *snapstore.Store, rec []byte) {
 
 func dropFlush(e *wire.Encoder) {
 	e.Flush() // want `dropped error return of \(\*wire\.Encoder\)\.Flush`
+}
+
+func dropProbe(m *mediator.Manager) {
+	m.ProbeSource(context.Background(), "GO") // want `dropped error return of \(\*mediator\.Manager\)\.ProbeSource`
+}
+
+func goProbe(m *mediator.Manager) {
+	go m.ProbeSource(context.Background(), "GO") // want `go statement drops the error return of \(\*mediator\.Manager\)\.ProbeSource`
 }
 
 // Deferring a write-path call drops its error just as surely.

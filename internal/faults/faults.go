@@ -1,0 +1,191 @@
+// Package faults is a deterministic fault-injection harness for wrappers.
+//
+// Faulty decorates any wrapper.Wrapper with seeded, reproducible failure
+// behaviour: an error rate, added fetch latency, ctx-respecting hangs, and
+// fail-N-then-recover schedules. It exists for the chaos tests — the
+// breaker, retry, and degraded-fusion paths in the mediator are only
+// trustworthy if they are exercised against misbehaving sources, and real
+// annotation mirrors misbehave nondeterministically. Everything here is
+// driven by a splitmix64 stream from Config.Seed, so a failing chaos run
+// replays exactly.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/oem"
+	"repro/internal/wrapper"
+)
+
+// Config selects the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed seeds the deterministic decision stream (0 selects a fixed
+	// default). Two Faulty wrappers with the same seed and call sequence
+	// make identical decisions.
+	Seed uint64
+	// ErrorRate is the probability in [0,1] that a fetch fails with a
+	// synthetic error.
+	ErrorRate float64
+	// MinLatency/MaxLatency bound the uniform random latency added to
+	// each fetch (0,0 adds none). The sleep respects ctx: a cancelled
+	// fetch stops waiting immediately.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// HangRate is the probability in [0,1] that a fetch hangs until its
+	// ctx is done — the pathology per-source fetch timeouts exist for.
+	HangRate float64
+	// FailFirst fails the first N fetches unconditionally, then lets the
+	// configured rates take over — the fail-N-then-recover schedule
+	// breaker tests want.
+	FailFirst int
+}
+
+// Counters reports what a Faulty wrapper actually did.
+type Counters struct {
+	Fetches  uint64 // fetch attempts observed (including injected failures)
+	Failures uint64 // synthetic errors injected
+	Hangs    uint64 // fetches that hung until ctx cancellation
+}
+
+// Faulty wraps a Wrapper with fault injection. It implements both
+// wrapper.Wrapper and wrapper.ContextModeler, so it exercises whichever
+// fetch path the caller uses; decisions are made per fetch under a mutex,
+// keeping the stream deterministic even from concurrent callers.
+type Faulty struct {
+	inner wrapper.Wrapper
+	name  string
+
+	mu       sync.Mutex
+	cfg      Config
+	rng      uint64
+	counters Counters
+}
+
+// New decorates inner with the configured faults. The wrapper keeps
+// inner's name unless a different one is forced with SetName.
+func New(inner wrapper.Wrapper, cfg Config) *Faulty {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x51ab_c0ffee
+	}
+	return &Faulty{inner: inner, name: inner.Name(), cfg: cfg, rng: seed}
+}
+
+// SetName overrides the reported source name (useful when the same inner
+// source backs several registered identities in a test).
+func (f *Faulty) SetName(name string) { f.name = name }
+
+// Clear disables all fault injection from now on — the convergence phase
+// of a chaos test. Counters are preserved.
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	f.cfg = Config{}
+	f.mu.Unlock()
+}
+
+// SetConfig replaces the fault configuration (the decision stream keeps
+// its position).
+func (f *Faulty) SetConfig(cfg Config) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// Counters returns a snapshot of injection activity.
+func (f *Faulty) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counters
+}
+
+// Name implements Wrapper.
+func (f *Faulty) Name() string { return f.name }
+
+// EntityLabel implements Wrapper.
+func (f *Faulty) EntityLabel() string { return f.inner.EntityLabel() }
+
+// Refresh implements Wrapper.
+func (f *Faulty) Refresh() { f.inner.Refresh() }
+
+// Version implements Wrapper.
+func (f *Faulty) Version() uint64 { return f.inner.Version() }
+
+// Model implements Wrapper: the uncancellable fetch path. Hangs are not
+// injected here (there is no ctx to release them), only errors and
+// latency.
+func (f *Faulty) Model() (*oem.Graph, error) {
+	return f.ModelCtx(context.Background())
+}
+
+// decision is one fetch's drawn fate.
+type decision struct {
+	fail    bool
+	hang    bool
+	latency time.Duration
+}
+
+func (f *Faulty) decide(hasCtx bool) decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counters.Fetches++
+	var d decision
+	if f.cfg.FailFirst > 0 {
+		f.cfg.FailFirst--
+		d.fail = true
+		f.counters.Failures++
+		return d
+	}
+	if f.cfg.MaxLatency > f.cfg.MinLatency {
+		span := float64(f.cfg.MaxLatency - f.cfg.MinLatency)
+		d.latency = f.cfg.MinLatency + time.Duration(f.next()*span)
+	} else {
+		d.latency = f.cfg.MinLatency
+	}
+	if hasCtx && f.cfg.HangRate > 0 && f.next() < f.cfg.HangRate {
+		d.hang = true
+		f.counters.Hangs++
+		return d
+	}
+	if f.cfg.ErrorRate > 0 && f.next() < f.cfg.ErrorRate {
+		d.fail = true
+		f.counters.Failures++
+	}
+	return d
+}
+
+// next draws a uniform float64 in [0,1) from the seeded splitmix64
+// stream. Called with f.mu held.
+func (f *Faulty) next() float64 {
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// ModelCtx implements ContextModeler, injecting the drawn fault before
+// delegating to the inner wrapper's best fetch path.
+func (f *Faulty) ModelCtx(ctx context.Context) (*oem.Graph, error) {
+	d := f.decide(ctx.Done() != nil)
+	if d.hang {
+		<-ctx.Done()
+		return nil, fmt.Errorf("faults: %s hung: %w", f.name, ctx.Err())
+	}
+	if d.latency > 0 {
+		t := time.NewTimer(d.latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("faults: %s cancelled mid-latency: %w", f.name, ctx.Err())
+		}
+	}
+	if d.fail {
+		return nil, fmt.Errorf("faults: %s: injected failure", f.name)
+	}
+	return wrapper.ModelOf(ctx, f.inner)
+}

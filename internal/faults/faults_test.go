@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/oem"
+)
+
+// stubWrapper is the minimal healthy inner source.
+type stubWrapper struct {
+	models uint64
+}
+
+func (s *stubWrapper) Name() string        { return "Stub" }
+func (s *stubWrapper) EntityLabel() string { return "Thing" }
+func (s *stubWrapper) Refresh()            {}
+func (s *stubWrapper) Version() uint64     { return 1 }
+func (s *stubWrapper) Model() (*oem.Graph, error) {
+	s.models++
+	return oem.NewGraph(), nil
+}
+
+// fates draws n decisions from a fresh Faulty and records each fetch's
+// outcome as 'f' (failed) or '.' (served).
+func fates(cfg Config, n int) string {
+	f := New(&stubWrapper{}, cfg)
+	out := make([]byte, n)
+	for i := range out {
+		if _, err := f.Model(); err != nil {
+			out[i] = 'f'
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}
+
+// TestDeterministicStream: same seed, same decision sequence — the
+// property that makes a failing chaos run replayable. A different seed
+// must (for a fair error rate) disagree somewhere.
+func TestDeterministicStream(t *testing.T) {
+	a := fates(Config{Seed: 7, ErrorRate: 0.5}, 64)
+	b := fates(Config{Seed: 7, ErrorRate: 0.5}, 64)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	c := fates(Config{Seed: 8, ErrorRate: 0.5}, 64)
+	if a == c {
+		t.Fatal("different seeds produced identical 64-fetch fate streams")
+	}
+}
+
+// TestFailFirstThenRecover: exactly the first N fetches fail, then the
+// wrapper serves — the breaker threshold schedule.
+func TestFailFirstThenRecover(t *testing.T) {
+	got := fates(Config{FailFirst: 3}, 6)
+	if got != "fff..." {
+		t.Fatalf("FailFirst 3 produced %q, want fff...", got)
+	}
+}
+
+// TestCountersAndClear: counters account for every fetch and survive
+// Clear, and a cleared wrapper injects nothing.
+func TestCountersAndClear(t *testing.T) {
+	f := New(&stubWrapper{}, Config{ErrorRate: 1})
+	for i := 0; i < 4; i++ {
+		if _, err := f.Model(); err == nil {
+			t.Fatal("ErrorRate 1 served a fetch")
+		}
+	}
+	f.Clear()
+	if _, err := f.Model(); err != nil {
+		t.Fatalf("cleared wrapper still failing: %v", err)
+	}
+	c := f.Counters()
+	if c.Fetches != 5 || c.Failures != 4 {
+		t.Fatalf("counters = %+v, want 5 fetches / 4 failures", c)
+	}
+}
+
+// TestHangRespectsContext: a hung fetch blocks exactly until its ctx is
+// cancelled — and never hangs the uncancellable Model() path, which has
+// no ctx to release it.
+func TestHangRespectsContext(t *testing.T) {
+	f := New(&stubWrapper{}, Config{HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := f.ModelCtx(ctx); err == nil {
+		t.Fatal("hung fetch returned no error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("hang outlived its context")
+	}
+	// Model() must not consult HangRate: with no ctx it would never wake.
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Model()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Model() failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Model() hung despite having no context to release it")
+	}
+}

@@ -40,6 +40,10 @@ const (
 	// KindAnswer: a standing query's answer changed (or Initial, its
 	// baseline at registration). Text is the answer's canonical form.
 	KindAnswer
+	// KindSourceUp: a source that had been excluded from the fused world
+	// (degraded-mode fusion) recovered and was re-admitted; the event
+	// rides the same epoch publication that folded its data back in.
+	KindSourceUp
 )
 
 // String names the kind the way the SSE endpoint frames it.
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "overflow"
 	case KindAnswer:
 		return "answer"
+	case KindSourceUp:
+		return "source-up"
 	}
 	return "unknown"
 }

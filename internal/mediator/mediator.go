@@ -3,6 +3,7 @@ package mediator
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"maps"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/feed"
 	"repro/internal/gml"
+	"repro/internal/health"
 	"repro/internal/lorel"
 	"repro/internal/obs"
 	"repro/internal/oem"
@@ -62,7 +64,39 @@ type Options struct {
 	// request traces, scrape-time counter collectors). nil disables all
 	// instrumentation at the cost of one predictable branch per site.
 	Obs *obs.Obs
+
+	// MinSources > 0 enables degraded-mode fusion: a fetch that loses
+	// sources still succeeds as long as at least MinSources mapped
+	// sources respond (and none of them is in RequireSources). The fused
+	// world is built from the healthy subset, the missing sources ride
+	// the epoch and Stats.DegradedSources, and a recovered source is
+	// re-admitted by delta. 0 (the default) keeps the strict pre-existing
+	// behaviour: any source failure fails the fuse.
+	MinSources int
+	// RequireSources lists sources whose failure is always fatal,
+	// regardless of MinSources — the "this answer is meaningless without
+	// LocusLink" knob.
+	RequireSources []string
+	// FetchTimeout bounds each per-source model build; a build still
+	// running at the deadline fails that attempt (and, through the
+	// wrapper's context path, stops waiting for it). <= 0 means no
+	// deadline.
+	FetchTimeout time.Duration
+	// FetchRetries is how many times a failed per-source fetch is retried
+	// within one query/fuse before the failure is charged to the source's
+	// breaker. Half-open probe fetches never retry. Default 0.
+	FetchRetries int
+	// FetchBackoff is the sleep before the first in-fetch retry, doubling
+	// per retry (<= 0 selects DefaultFetchBackoff). It is deliberately
+	// longer than the wrapper layer's build-error memo, so a retry is a
+	// fresh build attempt rather than a memoized failure.
+	FetchBackoff time.Duration
+	// Health tunes the per-source circuit breakers (zero value = defaults).
+	Health health.Config
 }
+
+// DefaultFetchBackoff is the base in-fetch retry backoff.
+const DefaultFetchBackoff = 200 * time.Millisecond
 
 // DefaultMaxDeltaFraction is the changed-fraction bound above which a
 // source refresh stops being worth applying incrementally.
@@ -81,6 +115,13 @@ type Stats struct {
 	FetchTime      time.Duration
 	FuseTime       time.Duration
 	EvalTime       time.Duration
+
+	// DegradedSources lists the sources whose fetch failed but whose
+	// absence the degraded-mode fusion tolerated (Options.MinSources):
+	// this answer was computed without their data. Sorted; empty on a
+	// fully healthy computation. For snapshot-path answers it reflects
+	// the epoch the answer was evaluated against.
+	DegradedSources []string
 
 	// PushdownFallbacks counts entities kept because a pushed-down
 	// predicate failed to evaluate at the source — pushdown must never
@@ -137,6 +178,9 @@ func (s *Stats) String() string {
 	}
 	for _, src := range s.SourcesQueried {
 		fmt.Fprintf(&sb, "  %-10s fetched %d kept %d\n", src, s.Fetched[src], s.Kept[src])
+	}
+	if len(s.DegradedSources) > 0 {
+		fmt.Fprintf(&sb, "DEGRADED: computed without %s\n", strings.Join(s.DegradedSources, ", "))
 	}
 	fmt.Fprintf(&sb, "conflicts reconciled: %d\n", len(s.Conflicts))
 	fmt.Fprintf(&sb, "pushdown=%v parallel=%v fetch=%v fuse=%v eval=%v\n",
@@ -267,6 +311,11 @@ type Manager struct {
 	persistErrors      atomic.Int64
 	restoreNanos       atomic.Int64
 
+	// health tracks per-source availability: one circuit breaker per
+	// source, plus the recovery generation sourceFingerprint folds in so
+	// a source coming back invalidates every answer computed without it.
+	health *health.Tracker
+
 	// hub is the live change-feed hub (nil with DisableCache — no epochs,
 	// nothing to notify about); RefreshSource publishes into it under
 	// epochMu so feed order matches epoch publication order. standingQs
@@ -311,6 +360,7 @@ func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	m := &Manager{reg: reg, gl: gl, opts: opts}
+	m.health = health.NewTracker(opts.Health)
 	if !opts.DisableCache {
 		m.cache = qcache.New(opts.CacheSize, opts.CacheTTL)
 		m.plans = qcache.New(opts.CacheSize, 0) // plans never age out
@@ -339,7 +389,12 @@ func (m *Manager) CacheCounters() (qcache.Counters, bool) {
 }
 
 // sourceFingerprint hashes the registered source names and their model
-// versions: any Refresh, Add or Remove changes it.
+// versions: any Refresh, Add or Remove changes it. The health tracker's
+// recovery generation is folded in too, so a source transitioning back to
+// healthy moves the fingerprint and invalidates every cached result and
+// epoch computed while it was missing — but a source merely failing does
+// not: the generation only moves on recovery, and answers computed from
+// the full pre-outage world stay servable throughout the outage.
 func (m *Manager) sourceFingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -349,6 +404,8 @@ func (m *Manager) sourceFingerprint() uint64 {
 		binary.LittleEndian.PutUint64(buf[:], w.Version())
 		h.Write(buf[:])
 	}
+	binary.LittleEndian.PutUint64(buf[:], m.health.Gen())
+	h.Write(buf[:])
 	return h.Sum64()
 }
 
@@ -485,6 +542,7 @@ func (s *Stats) clone() *Stats {
 	cp := *s
 	cp.SourcesQueried = append([]string(nil), s.SourcesQueried...)
 	cp.SourcesPruned = append([]string(nil), s.SourcesPruned...)
+	cp.DegradedSources = append([]string(nil), s.DegradedSources...)
 	cp.Conflicts = append([]Conflict(nil), s.Conflicts...)
 	cp.Fetched = maps.Clone(s.Fetched)
 	cp.Kept = maps.Clone(s.Kept)
@@ -589,6 +647,12 @@ type snapshot struct {
 	fs    *fuseState
 	stats *Stats
 	fp    uint64 // source-set fingerprint the epoch reflects
+	// degraded lists the sources whose data this epoch is missing
+	// (degraded-mode fusion built it from the healthy subset). Sorted;
+	// nil for a complete epoch. A recovered source is folded back in by
+	// ProbeSource/RefreshSource, which publish a successor epoch without
+	// it in this set.
+	degraded []string
 }
 
 // querySnapshot answers a query by evaluating its compiled plan against a
@@ -665,7 +729,7 @@ func (m *Manager) pinEpoch() (ep *snapshot, built bool, err error) {
 				if m.sourceFingerprint() != fpPre {
 					continue // a source moved mid-build; rebuild
 				}
-				m.publishLocked(&snapshot{fs: nfs, stats: nstats, fp: fpPre})
+				m.publishLocked(&snapshot{fs: nfs, stats: nstats, fp: fpPre, degraded: nstats.DegradedSources})
 				built = true
 				break
 			}
@@ -1133,7 +1197,7 @@ func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool, tr *obs.Trace) 
 			t0 = obs.Now()
 		}
 		conds := condsFor[j.mapping.Concept]
-		pop, fetched, err := m.fetchOne(j.w, j.mapping, conds, hashed)
+		pop, fetched, err := m.fetchOne(j.w, j.mapping, conds, hashed, tr)
 		if tr != nil {
 			stage := obs.StageFetch
 			if len(conds) > 0 {
@@ -1159,10 +1223,25 @@ func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool, tr *obs.Trace) 
 		}
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mediator: source %s: %v", jobs[i].w.Name(), err)
+	names := make([]string, len(jobs))
+	for i, j := range jobs {
+		names[i] = j.w.Name()
+	}
+	degraded, err := m.classifyFetchErrors(names, errs)
+	if err != nil {
+		return nil, err
+	}
+	if degraded != nil {
+		stats.DegradedSources = degraded
+		// A failed source contributed no population; drop its nil slot so
+		// fusion sees only the healthy subset.
+		kept := pops[:0]
+		for _, p := range pops {
+			if p != nil {
+				kept = append(kept, p)
+			}
 		}
+		pops = kept
 	}
 	for _, p := range pops {
 		stats.Fetched[p.source] = p.fetchedCount
@@ -1175,13 +1254,66 @@ func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool, tr *obs.Trace) 
 	return pops, nil
 }
 
+// classifyFetchErrors decides whether a fan-out's failures fail the whole
+// fetch or merely degrade it. A failure is fatal when strict mode is on
+// (MinSources <= 0), when the source is listed in RequireSources, or when
+// too few sources survive; a fatal outcome reports EVERY failed source
+// via errors.Join, not an arbitrary first one. Otherwise the failed
+// sources come back as the sorted degraded set and fusion proceeds
+// without them.
+func (m *Manager) classifyFetchErrors(names []string, errs []error) ([]string, error) {
+	nfail := 0
+	fatal := false
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		nfail++
+		if m.opts.MinSources <= 0 || m.sourceRequired(names[i]) {
+			fatal = true
+		}
+	}
+	if nfail == 0 {
+		return nil, nil
+	}
+	if !fatal && len(names)-nfail < m.opts.MinSources {
+		fatal = true
+	}
+	if fatal {
+		joined := make([]error, 0, nfail)
+		for i, err := range errs {
+			if err != nil {
+				joined = append(joined, fmt.Errorf("mediator: source %s: %w", names[i], err))
+			}
+		}
+		return nil, errors.Join(joined...)
+	}
+	degraded := make([]string, 0, nfail)
+	for i, err := range errs {
+		if err != nil {
+			degraded = append(degraded, names[i])
+		}
+	}
+	sort.Strings(degraded)
+	return degraded, nil
+}
+
+func (m *Manager) sourceRequired(name string) bool {
+	for _, r := range m.opts.RequireSources {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
 type pushCond struct {
 	v string
 	c lorel.Cond
 }
 
-func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pushCond, hashed bool) (*population, int, error) {
-	src, err := w.Model()
+func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pushCond, hashed bool, tr *obs.Trace) (*population, int, error) {
+	src, err := m.sourceModel(context.Background(), w, tr)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -438,7 +438,7 @@ func TestPushdownFallbackCounted(t *testing.T) {
 	// per-entity environment, so evaluation fails for every entity.
 	bad := lorel.ExistsCond{P: lorel.Path{Base: "NoSuchVar", Steps: []lorel.Step{lorel.LabelStep{Name: "Symbol"}}}}
 
-	pop, fetched, err := m.fetchOne(w, mp, []pushCond{{v: "G", c: bad}}, false)
+	pop, fetched, err := m.fetchOne(w, mp, []pushCond{{v: "G", c: bad}}, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,7 +59,27 @@ func (m *Manager) initObs(o *obs.Obs) {
 	feedDropped := reg.Counter("annoda_feed_events_dropped_total", "Change-feed events dropped to subscriber overflow.")
 	feedOverflows := reg.Counter("annoda_feed_overflows_total", "Subscriber buffer overflows (loss markers sent).")
 	feedSubs := reg.Gauge("annoda_feed_subscribers", "Live change-feed subscribers.")
+	srcHealth := reg.GaugeVec("annoda_source_health", "Per-source breaker state: 0 healthy, 1 degraded, 2 down.", "source")
+	srcFailures := reg.CounterVec("annoda_source_failures_total", "Final (post-retry) per-source fetch failures.", "source")
+	srcRetries := reg.CounterVec("annoda_source_fetch_retries_total", "In-fetch retry attempts, by source.", "source")
+	srcProbes := reg.CounterVec("annoda_source_probes_total", "Half-open probe fetches admitted, by source.", "source")
+	srcOpens := reg.CounterVec("annoda_breaker_opens_total", "Breaker open transitions (source declared down), by source.", "source")
+	degradedN := reg.Gauge("annoda_degraded_sources", "Sources missing from the serving fused epoch.")
+	healthGen := reg.Counter("annoda_health_recovery_generation", "Recovery generation: increments when a source returns to healthy.")
 	reg.OnGather(func() {
+		missing := 0
+		for _, sh := range m.SourceHealth() {
+			srcHealth.With(sh.Source).Set(int64(sh.StateCode))
+			srcFailures.With(sh.Source).Set(sh.Failures)
+			srcRetries.With(sh.Source).Set(sh.Retries)
+			srcProbes.With(sh.Source).Set(sh.Probes)
+			srcOpens.With(sh.Source).Set(sh.Opens)
+			if sh.MissingFromEpoch {
+				missing++
+			}
+		}
+		degradedN.Set(int64(missing))
+		healthGen.Set(m.HealthGen())
 		if c, ok := m.CacheCounters(); ok {
 			cacheHits.Set(uint64(c.Hits))
 			cacheMisses.Set(uint64(c.Misses))

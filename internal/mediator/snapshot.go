@@ -967,8 +967,13 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 	// lock-free: published fuse states are immutable.
 	fpBefore := m.sourceFingerprint()
 	var oldCounts map[uint64]int
+	degradedBefore := false
 	if ep := m.epoch.Load(); ep != nil && ep.fp == fpBefore {
+		// For a source the epoch is missing (degraded-mode fusion) the
+		// recorded counts are empty, so the diff below is pure upserts —
+		// the refresh doubles as the source's re-admission.
 		oldCounts = ep.fs.hashCounts(name)
+		degradedBefore = containsSource(ep.degraded, name)
 	}
 	var oldModel *oem.Graph
 	if oldCounts == nil {
@@ -980,11 +985,11 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 	}
 	w.Refresh()
 	rr.NewVersion = w.Version()
-	newModel, err := w.Model()
+	newModel, err := m.sourceModel(context.Background(), w, tr)
 	if err != nil {
 		// Refreshed but unreadable; the fingerprint moved, so ensureFresh
 		// will drop stale results on the next query.
-		return nil, fmt.Errorf("mediator: source %s: %v", name, err)
+		return nil, fmt.Errorf("mediator: source %s: %w", name, err)
 	}
 	fpAfter := m.sourceFingerprint()
 
@@ -1013,7 +1018,11 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 	if maxFrac <= 0 {
 		maxFrac = DefaultMaxDeltaFraction
 	}
-	if cs.Fraction() > maxFrac {
+	// Re-admitting a source the epoch is missing is all upserts by
+	// construction — a "delta" of the whole population. That is still far
+	// cheaper than rebuilding the whole multi-source world, so the
+	// too-large bound does not apply to it.
+	if cs.Fraction() > maxFrac && !degradedBefore {
 		return fullRebuild(fmt.Sprintf("delta too large (%.0f%% of source changed, limit %.0f%%)",
 			cs.Fraction()*100, maxFrac*100))
 	}
@@ -1030,8 +1039,15 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 	if cur := m.epoch.Load(); cur != nil && cur.fp == fpBefore {
 		if cs.Empty() {
 			// Nothing changed structurally; republish the same immutable
-			// fuse state under the new fingerprint.
-			republished := &snapshot{fs: cur.fs, stats: cur.stats, fp: fpAfter}
+			// fuse state under the new fingerprint. A re-admitted source
+			// with an empty population leaves the degraded set anyway —
+			// the epoch now reflects everything the source has (nothing).
+			rstats := cur.stats
+			if degradedBefore {
+				rstats = rstats.clone()
+				rstats.DegradedSources = dropSource(cur.degraded, name)
+			}
+			republished := &snapshot{fs: cur.fs, stats: rstats, fp: fpAfter, degraded: dropSource(cur.degraded, name)}
 			m.publishLocked(republished)
 			// The store still describes this world; advance the marker so
 			// a shutdown flush does not rewrite an identical checkpoint.
@@ -1049,7 +1065,8 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 				m.epochMu.Unlock()
 				return fullRebuild("snapshot patch failed: " + err.Error())
 			}
-			published := &snapshot{fs: nfs, stats: nstats, fp: fpAfter}
+			nstats.DegradedSources = dropSource(cur.degraded, name)
+			published := &snapshot{fs: nfs, stats: nstats, fp: fpAfter, degraded: nstats.DegradedSources}
 			m.publishLocked(published)
 			// Make the delta durable before releasing the writer lock, so
 			// WAL order always matches epoch publication order.
@@ -1070,6 +1087,13 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 		if m.o != nil {
 			m.o.M.FeedPubDur.Observe(d)
 		}
+	}
+	if degradedBefore && rr.Patched {
+		// The refresh doubled as the source's re-admission: announce it
+		// in the same critical section, after the change event carrying
+		// its data. (Unpatched epochs keep their degraded set; the
+		// re-admission then happens on the lazy rebuild instead.)
+		m.publishSourceUpLocked(name, fpAfter)
 	}
 	m.epochMu.Unlock()
 	if rr.Patched {

@@ -104,6 +104,23 @@ func (m *Manager) publishRebuildLocked(source string, fp uint64) uint64 {
 	}, nil)
 }
 
+// publishSourceUpLocked publishes a source-up marker: a source the fused
+// epoch had been missing recovered and its data was folded back in by the
+// epoch published in this same critical section. The event carries the
+// wildcard concept — answers of every shape may change when a whole
+// source's population (re)appears. m.epochMu must be held.
+func (m *Manager) publishSourceUpLocked(source string, fp uint64) uint64 {
+	if m.hub == nil {
+		return 0
+	}
+	return m.hub.Publish(feed.Event{
+		Kind:        feed.KindSourceUp,
+		Source:      source,
+		Concepts:    []string{"*"},
+		Fingerprint: fp,
+	}, nil)
+}
+
 // StandingQuery is a registered continuous query: after every refresh
 // whose touched concepts intersect the query's concept tags, the mediator
 // re-evaluates the compiled plan against the freshly published epoch and

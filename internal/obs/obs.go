@@ -104,6 +104,8 @@ const (
 	StageInvalidate       = "invalidate"
 	StageStandingEval     = "standing_eval"
 	StageFeedPublish      = "feed_publish"
+	StageRetry            = "fetch_retry"
+	StageProbe            = "health_probe"
 )
 
 // knownStages lists every constant above, in recording order, for the
@@ -113,4 +115,5 @@ var knownStages = []string{
 	StagePlanCompile, StagePushdown, StageFetch, StageFuse, StageEval,
 	StageDiff, StageDeltaPatch, StageWALAppend, StageCheckpoint,
 	StageRestore, StageInvalidate, StageStandingEval, StageFeedPublish,
+	StageRetry, StageProbe,
 }

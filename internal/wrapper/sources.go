@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,6 +45,11 @@ func (w *LocusLinkWrapper) EntityLabel() string { return "Locus" }
 
 // Model implements Wrapper.
 func (w *LocusLinkWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
+
+// ModelCtx implements ContextModeler: a context-bounded Model.
+func (w *LocusLinkWrapper) ModelCtx(ctx context.Context) (*oem.Graph, error) {
+	return w.cache.getCtx(ctx)
+}
 
 // Refresh implements Wrapper.
 func (w *LocusLinkWrapper) Refresh() { w.cache.invalidate() }
@@ -108,6 +114,9 @@ func (w *GoWrapper) EntityLabel() string { return "Annotation" }
 
 // Model implements Wrapper.
 func (w *GoWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
+
+// ModelCtx implements ContextModeler: a context-bounded Model.
+func (w *GoWrapper) ModelCtx(ctx context.Context) (*oem.Graph, error) { return w.cache.getCtx(ctx) }
 
 // Refresh implements Wrapper.
 func (w *GoWrapper) Refresh() { w.cache.invalidate() }
@@ -184,6 +193,9 @@ func (w *OMIMWrapper) EntityLabel() string { return "Entry" }
 // Model implements Wrapper.
 func (w *OMIMWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
 
+// ModelCtx implements ContextModeler: a context-bounded Model.
+func (w *OMIMWrapper) ModelCtx(ctx context.Context) (*oem.Graph, error) { return w.cache.getCtx(ctx) }
+
 // Refresh implements Wrapper.
 func (w *OMIMWrapper) Refresh() { w.cache.invalidate() }
 
@@ -244,6 +256,9 @@ func (w *ProtWrapper) EntityLabel() string { return "Protein" }
 
 // Model implements Wrapper.
 func (w *ProtWrapper) Model() (*oem.Graph, error) { return w.cache.get() }
+
+// ModelCtx implements ContextModeler: a context-bounded Model.
+func (w *ProtWrapper) ModelCtx(ctx context.Context) (*oem.Graph, error) { return w.cache.getCtx(ctx) }
 
 // Refresh implements Wrapper.
 func (w *ProtWrapper) Refresh() { w.cache.invalidate() }

@@ -15,11 +15,14 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oem"
 )
 
@@ -40,6 +43,30 @@ type Wrapper interface {
 	// Version increments on every Refresh. Result caches fingerprint the
 	// source set with it so a refreshed source invalidates stale entries.
 	Version() uint64
+}
+
+// ContextModeler is the optional context-aware fetch path. Wrappers that
+// implement it let callers bound a model build with a deadline or cancel
+// it outright — the mediator's per-source fetch timeouts depend on this.
+// Plain Wrappers without it fall back to the uncancellable Model.
+type ContextModeler interface {
+	// ModelCtx behaves like Wrapper.Model but honours ctx: a build
+	// in flight when ctx is done returns ctx.Err() to this caller
+	// (the build itself may complete and populate the cache for others).
+	ModelCtx(ctx context.Context) (*oem.Graph, error)
+}
+
+// ModelOf fetches w's model through the context-aware path when the
+// wrapper offers one, falling back to the plain Model otherwise. A ctx
+// already done short-circuits without touching the source either way.
+func ModelOf(ctx context.Context, w Wrapper) (*oem.Graph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cm, ok := w.(ContextModeler); ok {
+		return cm.ModelCtx(ctx)
+	}
+	return w.Model()
 }
 
 // LabelInfo describes one label of an entity in an OML model.
@@ -142,31 +169,93 @@ func InferSchema(g *oem.Graph, source, entity string) (Schema, error) {
 	return s, nil
 }
 
+// buildErrMemoTTL is how long a failed build's error is served to new
+// callers before another rebuild is attempted. It keeps a failing source
+// from being rebuilt in a thundering herd (every query used to retry the
+// build) while staying well below the mediator's retry backoff, so a
+// deliberate retry gets a fresh attempt rather than the memo.
+const buildErrMemoTTL = 150 * time.Millisecond
+
 // cachedModel gives wrappers the shared build-once/refresh behaviour.
+//
+// The build runs OUTSIDE the mutex with singleflight semantics: exactly
+// one caller builds while the rest wait on a done channel (or their ctx),
+// and Refresh/Version stay responsive during a slow or hung build. The
+// old shape held mu across build(), so one hung source serialized every
+// concurrent Model caller behind it and blocked Refresh.
 type cachedModel struct {
-	mu    sync.Mutex
-	graph *oem.Graph
-	build func() (*oem.Graph, error)
-	ver   atomic.Uint64
+	mu        sync.Mutex
+	graph     *oem.Graph
+	build     func() (*oem.Graph, error)
+	inflight  chan struct{} // non-nil while a build is running; closed when it finishes
+	lastErr   error         // last build failure, memoized briefly
+	lastErrAt time.Time
+	ver       atomic.Uint64
 }
 
 func (c *cachedModel) get() (*oem.Graph, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.graph != nil {
-		return c.graph, nil
+	return c.getCtx(context.Background())
+}
+
+func (c *cachedModel) getCtx(ctx context.Context) (*oem.Graph, error) {
+	for {
+		c.mu.Lock()
+		if c.graph != nil {
+			g := c.graph
+			c.mu.Unlock()
+			return g, nil
+		}
+		if c.lastErr != nil && obs.Since(c.lastErrAt) < buildErrMemoTTL {
+			err := c.lastErr
+			c.mu.Unlock()
+			return nil, err
+		}
+		if done := c.inflight; done != nil {
+			// Someone else is building: wait for them (or our deadline)
+			// and re-check — the build may have failed or been
+			// invalidated, so loop rather than trusting its result.
+			c.mu.Unlock()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		// We are the builder.
+		done := make(chan struct{})
+		c.inflight = done
+		startVer := c.ver.Load()
+		c.mu.Unlock()
+
+		g, err := c.build()
+
+		c.mu.Lock()
+		// Install only if no Refresh raced the build; a stale graph must
+		// not resurrect into the cache. The builder still returns its own
+		// (possibly stale) result — matching the old serialized
+		// semantics, where a Model that began before the Refresh could
+		// return the pre-refresh graph.
+		if c.ver.Load() == startVer {
+			if err != nil {
+				c.lastErr = err
+				c.lastErrAt = obs.Now()
+			} else {
+				c.graph = g
+				c.lastErr = nil
+			}
+		}
+		c.inflight = nil
+		c.mu.Unlock()
+		close(done)
+		return g, err
 	}
-	g, err := c.build()
-	if err != nil {
-		return nil, err
-	}
-	c.graph = g
-	return g, nil
 }
 
 func (c *cachedModel) invalidate() {
 	c.mu.Lock()
 	c.graph = nil
+	c.lastErr = nil
 	c.mu.Unlock()
 	c.ver.Add(1)
 }
