@@ -49,21 +49,25 @@ bench:
 # silently between careful runs. The second pass re-runs the E16
 # concurrent-throughput/batch benches under GOMAXPROCS=8 so the lock-free
 # epoch read path sees real goroutine concurrency even on small CI runners.
-# The final lines smoke-run the E18 change-feed and E19 obs-overhead
-# experiments through the annoda-bench runner itself (including the -json
-# recorder), so the CLI experiment path can't rot independently of the
-# benchmarks.
+# The final lines smoke-run the E18 change-feed, E19 obs-overhead and E20
+# introspection-overhead experiments through the annoda-bench runner itself
+# (including the -json recorder), so the CLI experiment path can't rot
+# independently of the benchmarks.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='E16_Concurrent|E16_QueriesUnderRefreshChurn|E16_AskBatch' -benchtime=1x -cpu 8 .
 	$(GO) test -run=NONE -bench='E17_Restore1k|E17_DeltaRefreshPersisted1k|E17_RestoreReplay32_1k' -benchtime=1x .
 	$(GO) run ./cmd/annoda-bench -exp E18 -genes 200 -json /dev/null
 	$(GO) run ./cmd/annoda-bench -exp E19 -genes 200 -json /dev/null
+	$(GO) run ./cmd/annoda-bench -exp E20 -genes 200 -json /dev/null
 
 # metrics-check boots a real server on a loopback port, scrapes GET
 # /metrics after one warm-up query, and validates the scrape as Prometheus
 # text exposition 0.0.4 via `annoda-lint -prom` — the hand-rolled
 # exposition writer is checked against a live process, not just fixtures.
+# It then asserts the introspection series (plan cache, per-source stats)
+# are present in the scrape, and smokes POST /api/explain for a valid
+# JSON-shaped plan report.
 metrics-check:
 	@set -e; \
 	$(GO) build -o /tmp/annoda-server-ci ./cmd/annoda-server; \
@@ -79,7 +83,13 @@ metrics-check:
 	if [ "$$up" != 1 ]; then echo "server never became healthy:"; cat /tmp/annoda-server-ci.log; exit 1; fi; \
 	curl -fsS "http://127.0.0.1:18077/api/query?q=select%20G%20from%20ANNODA-GML.Gene%20G" >/dev/null; \
 	curl -fsS http://127.0.0.1:18077/metrics -o /tmp/annoda-scrape.txt; \
-	/tmp/annoda-lint-ci -prom /tmp/annoda-scrape.txt
+	/tmp/annoda-lint-ci -prom /tmp/annoda-scrape.txt; \
+	for series in annoda_plan_cache_hits_total annoda_plan_cache_entries annoda_plan_explains_total annoda_source_entities annoda_source_fetch_ewma_micros; do \
+		grep -q "^$$series" /tmp/annoda-scrape.txt || { echo "metrics scrape missing $$series"; exit 1; }; \
+	done; \
+	curl -fsS -X POST -d '{"query":"select G from ANNODA-GML.Gene G","analyze":true}' \
+		http://127.0.0.1:18077/api/explain -o /tmp/annoda-explain.json; \
+	$(GO) run ./cmd/annoda-lint -explain-shape /tmp/annoda-explain.json
 
 # chaos-smoke runs the fault-tolerance battery on its own, under -race and
 # with the remaining -run filter widened to the breaker/fault-injection

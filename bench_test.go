@@ -1360,3 +1360,79 @@ func BenchmarkE19_ConcurrentAskUntraced(b *testing.B) {
 func BenchmarkE19_ConcurrentAskTraced(b *testing.B) {
 	benchmarkE19Concurrent(b, mediator.Options{Obs: obs.New(obs.Config{})})
 }
+
+// --- E20: introspection overhead — EXPLAIN/ANALYZE and counted eval ----------
+
+const e20Query = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+
+// BenchmarkE20_AskAnalyzeOff: the cached-Ask hot path with the instrumented
+// evaluator in the binary but no counts attached — every note site takes the
+// nil fast path. This is the number the <5% introspection-overhead bar is
+// measured against.
+func BenchmarkE20_AskAnalyzeOff(b *testing.B) {
+	sys := benchSystem(b, 1000)
+	q := core.Figure5bQuestion()
+	if _, _, err := sys.Ask(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Ask(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkE20Eval evaluates one compiled plan against the fused graph with
+// and without a live EvalCounts — isolating the per-stage counting cost from
+// everything else EXPLAIN ANALYZE does.
+func benchmarkE20Eval(b *testing.B, counted bool) {
+	sys := benchSystem(b, 1000)
+	fused, _, err := sys.Manager.FusedGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := lorel.Parse(e20Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := lorel.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ec *lorel.EvalCounts
+		if counted {
+			ec = &lorel.EvalCounts{}
+		}
+		if _, err := plan.EvalCounted(fused, ec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE20_EvalPlain(b *testing.B)   { benchmarkE20Eval(b, false) }
+func BenchmarkE20_EvalCounted(b *testing.B) { benchmarkE20Eval(b, true) }
+
+// benchmarkE20Explain measures the explain surface itself: plan-only (parse,
+// analyze, plan, classify, render) and analyze (plus a counted execution
+// against the pinned snapshot epoch).
+func benchmarkE20Explain(b *testing.B, analyze bool) {
+	sys := benchSystem(b, 1000)
+	if _, _, err := sys.Query(e20Query); err != nil { // build the snapshot epoch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Manager.ExplainString(e20Query, analyze); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE20_ExplainPlanOnly(b *testing.B) { benchmarkE20Explain(b, false) }
+func BenchmarkE20_ExplainAnalyze(b *testing.B)  { benchmarkE20Explain(b, true) }

@@ -1,7 +1,7 @@
 // Command annoda-bench regenerates every table and figure of the ANNODA
 // paper (and the quantitative experiments attached to them) from the live
 // implementations in this repository. Run with no flags for everything, or
-// -exp E5 for one experiment (E1..E18). See EXPERIMENTS.md for the index.
+// -exp E5 for one experiment (E1..E20). See EXPERIMENTS.md for the index.
 //
 // -json FILE additionally writes the headline numbers of the experiments
 // that ran as machine-readable JSON (the BENCH_N.json files committed at
@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E19) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E20) or 'all'")
 	genes := flag.Int("genes", 1000, "corpus size (genes)")
 	seed := flag.Uint64("seed", 20050405, "corpus seed")
 	jsonOut := flag.String("json", "", "write headline numbers as JSON to this file")
@@ -58,10 +58,10 @@ func main() {
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
 		"E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17, "E18": e18,
-		"E19": e19,
+		"E19": e19, "E20": e20,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"} {
 			banner(id)
 			runners[id](c, sys)
 		}
@@ -1256,4 +1256,93 @@ func e19(c *datagen.Corpus, sys *core.System) {
 		fmt.Printf("tracing overhead at default sampling: %+.1f%%\n", over)
 		record("E19", "concurrent_overhead_pct", over)
 	}
+}
+
+// E20 — introspection overhead: what the EXPLAIN/ANALYZE machinery costs.
+// Three questions, each isolated: (1) the cached-Ask hot path with the
+// instrumented evaluator in the binary but analyze off (every counting site
+// takes the nil fast path — the acceptance bar for the introspection PR was
+// <5% over the pre-instrumentation numbers); (2) the same plan evaluated
+// with and without a live counts struct, isolating the per-stage counting
+// cost; (3) the explain surface itself, plan-only and analyze.
+func e20(c *datagen.Corpus, sys *core.System) {
+	const query = `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease`
+	s, err := core.New(c, mediator.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	ask := core.Figure5bQuestion()
+	if _, _, err := s.Ask(ask); err != nil { // warm cache + snapshot epoch
+		fatal(err)
+	}
+	if _, _, err := s.Query(query); err != nil {
+		fatal(err)
+	}
+	fused, _, err := s.Manager.FusedGraph()
+	if err != nil {
+		fatal(err)
+	}
+	q, err := lorel.Parse(query)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := lorel.Compile(q)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Small overheads drown in machine noise, so every measurement runs
+	// several interleaved trials and the minimum counts (see e19).
+	const trials = 5
+	best := map[string]time.Duration{}
+	measure := func(name string, rounds int, f func()) {
+		runtime.GC()
+		t0 := obs.Now()
+		for r := 0; r < rounds; r++ {
+			f()
+		}
+		el := obs.Since(t0) / time.Duration(rounds)
+		if cur, ok := best[name]; !ok || el < cur {
+			best[name] = el
+		}
+	}
+	for t := 0; t < trials; t++ {
+		measure("ask_analyze_off", 200, func() {
+			if _, _, err := s.Ask(ask); err != nil {
+				fatal(err)
+			}
+		})
+		measure("eval_plain", 3, func() {
+			if _, err := plan.EvalCounted(fused, nil); err != nil {
+				fatal(err)
+			}
+		})
+		measure("eval_counted", 3, func() {
+			if _, err := plan.EvalCounted(fused, &lorel.EvalCounts{}); err != nil {
+				fatal(err)
+			}
+		})
+		measure("explain_plan_only", 200, func() {
+			if _, err := s.Manager.ExplainString(query, false); err != nil {
+				fatal(err)
+			}
+		})
+		measure("explain_analyze", 3, func() {
+			if _, err := s.Manager.ExplainString(query, true); err != nil {
+				fatal(err)
+			}
+		})
+	}
+
+	fmt.Printf("%-18s %s\n", "measurement", "best per-op")
+	for _, name := range []string{"ask_analyze_off", "eval_plain", "eval_counted", "explain_plan_only", "explain_analyze"} {
+		fmt.Printf("%-18s %v\n", name, best[name].Round(time.Microsecond))
+		record("E20", name+"_per_us", best[name])
+	}
+	counting := (float64(best["eval_counted"])/float64(best["eval_plain"]) - 1) * 100
+	fmt.Printf("per-stage counting overhead (counted vs plain eval): %+.1f%%\n", counting)
+	record("E20", "counting_overhead_pct", counting)
+	analyze := (float64(best["explain_analyze"])/float64(best["eval_plain"]) - 1) * 100
+	fmt.Printf("analyze overhead over a bare eval (pin + counts + stats): %+.1f%%\n", analyze)
+	record("E20", "analyze_overhead_pct", analyze)
 }

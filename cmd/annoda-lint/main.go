@@ -7,6 +7,7 @@
 //	annoda-lint ./...          # analyze packages, test files included
 //	annoda-lint -list          # print the suite
 //	annoda-lint -prom FILE     # validate FILE as a Prometheus /metrics scrape
+//	annoda-lint -explain-shape FILE  # validate FILE as a /api/explain response
 //
 // As a go vet tool (the unitchecker protocol, reimplemented on the
 // standard library because the module is dependency-free):
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -58,8 +60,9 @@ func main() {
 	fs := flag.NewFlagSet("annoda-lint", flag.ExitOnError)
 	listOnly := fs.Bool("list", false, "list the analyzers and exit")
 	promFile := fs.String("prom", "", "validate FILE as Prometheus text exposition (a /metrics scrape) and exit")
+	explainFile := fs.String("explain-shape", "", "validate FILE as a /api/explain JSON response and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: annoda-lint [-prom scrape.txt] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: annoda-lint [-prom scrape.txt] [-explain-shape explain.json] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +76,10 @@ func main() {
 	}
 	if *promFile != "" {
 		checkProm(*promFile)
+		return
+	}
+	if *explainFile != "" {
+		checkExplainShape(*explainFile)
 		return
 	}
 	patterns := fs.Args()
@@ -119,4 +126,70 @@ func checkProm(path string) {
 	}
 	fmt.Printf("%s: valid exposition, %d samples across %d series, %d TYPE families\n",
 		path, len(exp.Samples), len(families), len(exp.Types))
+}
+
+// checkExplainShape validates a saved POST /api/explain response body — the
+// CI hook that keeps the introspection wire shape honest against a live
+// server. It decodes strictly (unknown top-level fields fail) and requires
+// the fields an operator tool would navigate by.
+func checkExplainShape(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var resp struct {
+		Explain *struct {
+			Query      string `json:"query"`
+			PlanTree   string `json:"plan_tree"`
+			PathReason string `json:"path_reason"`
+			Sources    []struct {
+				Source string `json:"source"`
+				Reason string `json:"reason"`
+			} `json:"sources"`
+			Analyze *struct {
+				Cardinalities struct {
+					RootsMatched int `json:"roots_matched"`
+					WhereEvals   int `json:"where_evals"`
+				} `json:"cardinalities"`
+				Fetched map[string]int `json:"fetched"`
+				Stages  []struct {
+					Stage  string `json:"stage"`
+					Micros int64  `json:"micros"`
+				} `json:"stages"`
+			} `json:"analyze"`
+		} `json:"explain"`
+		Text string `json:"text"`
+	}
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&resp); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	e := resp.Explain
+	switch {
+	case e == nil:
+		log.Fatalf("%s: no explain object", path)
+	case e.Query == "" || e.PlanTree == "" || e.PathReason == "":
+		log.Fatalf("%s: explain lacks query/plan_tree/path_reason", path)
+	case len(e.Sources) == 0:
+		log.Fatalf("%s: explain lists no sources", path)
+	case resp.Text == "":
+		log.Fatalf("%s: rendered text form absent", path)
+	}
+	for _, s := range e.Sources {
+		if s.Source == "" || s.Reason == "" {
+			log.Fatalf("%s: source decision lacks source/reason: %+v", path, s)
+		}
+	}
+	analyzed := "plan-only"
+	if a := e.Analyze; a != nil {
+		analyzed = "analyzed"
+		if len(a.Stages) != 3 || len(a.Fetched) == 0 {
+			log.Fatalf("%s: analyze block lacks stages/fetched", path)
+		}
+		if a.Cardinalities.RootsMatched == 0 {
+			log.Fatalf("%s: analyze cardinalities are zero", path)
+		}
+	}
+	fmt.Printf("%s: valid %s explain response, %d sources\n", path, analyzed, len(e.Sources))
 }

@@ -6,6 +6,11 @@
 //	/object?url= the individual object view (Figure 5(c))
 //	/api/ask     the integrated view as JSON (POST body or form params)
 //	/api/query   raw Lorel queries as JSON
+//	/api/explain POST {"query": ..., "analyze": bool}: the query plan —
+//	             plan tree, per-source prune decisions, pushdown verdicts
+//	             with reasons, cache/snapshot path — plus, with analyze,
+//	             actual per-stage cardinalities and timings (-cost-pushdown
+//	             makes the selectivity cost model the live pushdown gate)
 //	/api/batch   many Lorel queries evaluated concurrently against one
 //	             pinned snapshot epoch (POST {"queries": [...]})
 //	/api/object  the object view as JSON
@@ -25,8 +30,10 @@
 //	/readyz      readiness probe: "ready"/"degraded" answer 200 (degraded
 //	             replicas still serve the healthy subset), "down" answers
 //	             503; -ready-strict turns degraded into 503 too
-//	/statsz      request, cache, delta, persistence, warehouse and
-//	             per-source health counters
+//	/statsz      request, cache, plan-cache, delta, persistence, warehouse,
+//	             per-source health counters and the per-source statistics
+//	             table (entities, label cardinalities, fetch EWMA, observed
+//	             pushdown selectivities)
 //
 // Every response carries an X-Request-ID header; error bodies, panic logs
 // and timeout bodies repeat the ID so a client-side failure can be joined
@@ -106,6 +113,7 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "result cache capacity in entries (0 = default)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = no expiry)")
 	noCache := flag.Bool("nocache", false, "disable the result cache")
+	costPushdown := flag.Bool("cost-pushdown", false, "gate predicate pushdown on the observed-selectivity cost model instead of the heuristic alone")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	dataDir := flag.String("data-dir", "", "durable snapshot store directory: restore-on-boot, per-refresh WAL, checkpoint on shutdown (empty = memory only)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "auto-checkpoint after this many WAL records (0 = default)")
@@ -150,6 +158,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		CacheTTL:       *cacheTTL,
 		DisableCache:   *noCache,
+		CostPushdown:   *costPushdown,
 		FetchTimeout:   *srcTimeout,
 		FetchRetries:   *srcRetries,
 		MinSources:     *minSources,

@@ -278,6 +278,120 @@ func TestAPIQuery(t *testing.T) {
 	}
 }
 
+func TestAPIExplain(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	q := `select G from ANNODA-GML.Gene G where exists G.Annotation`
+
+	// Plan-only: structured report plus rendered text, no analyze block.
+	rec := postJSON(t, h, "/api/explain", fmt.Sprintf(`{"query":%q}`, q))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/explain = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	e := resp.Explain
+	if e == nil || e.PlanTree == "" || len(e.Sources) == 0 {
+		t.Fatalf("thin explain response: %s", rec.Body.String())
+	}
+	if e.Analyze != nil {
+		t.Error("plan-only explain carried an analyze block")
+	}
+	if e.PathReason == "" {
+		t.Error("path decision missing its reason")
+	}
+	if !strings.Contains(resp.Text, "sources:") {
+		t.Errorf("rendered text missing sources block:\n%s", resp.Text)
+	}
+
+	// Analyze: actual cardinalities and stage timings appear.
+	rec = postJSON(t, h, "/api/explain", fmt.Sprintf(`{"query":%q,"analyze":true}`, q))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/explain analyze = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp = explainResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	a := resp.Explain.Analyze
+	if a == nil {
+		t.Fatalf("analyze block absent: %s", rec.Body.String())
+	}
+	if a.Cardinalities.RootsMatched == 0 || len(a.Stages) != 3 || len(a.Fetched) == 0 {
+		t.Errorf("dead analyze block: %+v", a)
+	}
+
+	// 4xx paths, each carrying the request ID for joinability.
+	for name, body := range map[string]string{
+		"empty body":    `{}`,
+		"bad lorel":     `{"query":"not lorel"}`,
+		"unknown field": `{"query":"x","nope":1}`,
+	} {
+		rec := postJSON(t, h, "/api/explain", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", name, rec.Code)
+			continue
+		}
+		var errBody struct {
+			Error     string `json:"error"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &errBody); err != nil {
+			t.Fatal(err)
+		}
+		if errBody.Error == "" || errBody.RequestID == "" {
+			t.Errorf("%s error body lacks error/request_id: %s", name, rec.Body.String())
+		}
+	}
+	if rec := get(t, h, "/api/explain"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/explain = %d, want 405", rec.Code)
+	}
+}
+
+// TestStatszIntrospection: the plan-cache counters, explain counter and
+// per-source statistics table all surface in /statsz.
+func TestStatszIntrospection(t *testing.T) {
+	h := newMux(testSystem(t), nil, 0)
+	// Snapshot-eligible (touches every mapped concept), so the shared-epoch
+	// build runs and feeds entity counts and label cardinalities.
+	q := `select G from ANNODA-GML.Gene G where exists G.Annotation and not exists G.Disease and exists G.Protein`
+	get(t, h, "/api/query?q="+url.QueryEscape(q))
+	postJSON(t, h, "/api/explain", fmt.Sprintf(`{"query":%q}`, q))
+	rec := get(t, h, "/statsz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /statsz = %d", rec.Code)
+	}
+	var resp struct {
+		PlanCache     *cacheJSON `json:"plan_cache"`
+		ExplainsTotal int64      `json:"explains_total"`
+		SourceStats   []struct {
+			Source          string         `json:"source"`
+			Entities        int            `json:"entities"`
+			Labels          map[string]int `json:"labels"`
+			FetchCount      int64          `json:"fetch_count"`
+			FetchEWMAMicros int64          `json:"fetch_ewma_micros"`
+		} `json:"source_stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlanCache == nil || resp.PlanCache.Entries == 0 {
+		t.Errorf("plan cache counters missing or empty: %s", rec.Body.String())
+	}
+	if resp.ExplainsTotal < 1 {
+		t.Errorf("explains_total = %d, want >= 1", resp.ExplainsTotal)
+	}
+	if len(resp.SourceStats) == 0 {
+		t.Fatalf("source_stats absent: %s", rec.Body.String())
+	}
+	for _, s := range resp.SourceStats {
+		if s.Entities == 0 || s.FetchCount == 0 {
+			t.Errorf("source %s stats look dead: %+v", s.Source, s)
+		}
+	}
+}
+
 func TestAPIObject(t *testing.T) {
 	sys := testSystem(t)
 	h := newMux(sys, nil, 0)

@@ -83,6 +83,7 @@ func newMuxCfg(sys *core.System, wh *warehouse.Warehouse, cfg muxConfig) http.Ha
 	// JSON API.
 	mux.HandleFunc("/api/ask", s.apiAsk)
 	mux.HandleFunc("/api/query", s.apiQuery)
+	mux.HandleFunc("/api/explain", s.apiExplain)
 	mux.HandleFunc("/api/batch", s.apiBatch)
 	mux.HandleFunc("/api/object", s.apiObject)
 	mux.HandleFunc("/api/refresh", s.apiRefresh)
@@ -383,6 +384,44 @@ func (s *server) apiQuery(w http.ResponseWriter, r *http.Request) {
 		Text:    oem.TextString(res.Graph, "answer", res.Answer),
 		Stats:   mediatorStats(stats),
 	})
+}
+
+type explainRequest struct {
+	Query   string `json:"query"`
+	Analyze bool   `json:"analyze"`
+}
+
+type explainResponse struct {
+	Explain *mediator.Explain `json:"explain"`
+	Text    string            `json:"text"`
+}
+
+// apiExplain explains a Lorel query without guessing: POST {"query": "...",
+// "analyze": bool}. The response carries the structured plan report (plan
+// tree, per-source prune decisions, pushdown verdicts with reasons, the
+// cache/snapshot path choice) and its rendered text form; analyze also
+// executes the query and adds actual per-stage cardinalities and timings.
+func (s *server) apiExplain(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	var req explainRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, r, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		jsonError(w, r, http.StatusBadRequest, "missing query (POST {\"query\": ..., \"analyze\": bool})")
+		return
+	}
+	e, err := s.sys.Manager.ExplainString(req.Query, req.Analyze)
+	if err != nil {
+		jsonError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{Explain: e, Text: e.Format()})
 }
 
 // maxBatchQueries bounds one /api/batch request: enough for THEA-style
@@ -709,6 +748,19 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp["cache"] = nil
 	}
+	if pc, ok := s.sys.Manager.PlanCacheCounters(); ok {
+		resp["plan_cache"] = cacheJSON{
+			Hits: pc.Hits, Misses: pc.Misses, Shared: pc.Shared,
+			Evictions: pc.Evictions, Expired: pc.Expired,
+			Inval: pc.Invalidations, Entries: pc.Entries, InFlight: pc.InFlight,
+		}
+	} else {
+		resp["plan_cache"] = nil
+	}
+	resp["explains_total"] = s.sys.Manager.ExplainCounters()
+	// Per-source statistics table: entity counts, label cardinalities,
+	// fetch EWMA and observed pushdown selectivities.
+	resp["source_stats"] = s.sys.Manager.SourceStats()
 	if sc, ok := s.sys.Manager.SnapshotCounters(); ok {
 		resp["snapshot"] = map[string]int64{"hits": sc.Hits, "misses": sc.Misses}
 	} else {

@@ -10,6 +10,10 @@
 //	oml <source> [i]           Figure 3 OML text for record i of a source
 //	gml                        describe the global model mappings
 //	query <lorel>              run a global Lorel query through the mediator
+//	explain [-analyze] <lorel> the query plan: plan tree, source prune and
+//	                           pushdown decisions with reasons, snapshot-path
+//	                           routing; -analyze also executes it and prints
+//	                           per-stage cardinalities and timings
 //	ask [flags...]             run a biological question (Figure 5(a))
 //	show <url>                 individual object view for a web-link (5(c))
 //	sql <query>                DiscoveryLink-style SQL against nicknames
@@ -147,6 +151,21 @@ func main() {
 		}
 		fmt.Printf("answer: %d edges\n", res.Size())
 		fmt.Print(stats.String())
+	case "explain":
+		rest := args[1:]
+		analyze := false
+		if len(rest) > 0 && rest[0] == "-analyze" {
+			analyze = true
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			fatal(fmt.Errorf("usage: annoda explain [-analyze] '<lorel>'"))
+		}
+		e, err := sys.Manager.ExplainString(strings.Join(rest, " "), analyze)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(e.Format())
 	case "ask":
 		q, err := parseQuestion(args[1:])
 		if err != nil {

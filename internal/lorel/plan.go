@@ -50,6 +50,13 @@ func Compile(q *Query) (*Plan, error) {
 // first against range variables bound by earlier from-clauses, then against
 // the graph's named roots.
 func (p *Plan) Eval(g *oem.Graph) (*Result, error) {
+	return p.eval(g, nil)
+}
+
+// eval is the shared evaluation core. The count hooks are unconditional —
+// EvalCounts methods are nil-inert, so the plain Eval path pays one
+// predictable branch per hook (E20 measures the cost).
+func (p *Plan) eval(g *oem.Graph, ec *EvalCounts) (*Result, error) {
 	// A full query evaluation makes many label lookups over one settled
 	// graph: build its label index once up front. (Condition plans skip
 	// this — they run against still-growing per-source graphs.)
@@ -83,6 +90,7 @@ func (p *Plan) Eval(g *oem.Graph) (*Result, error) {
 				evalErr = err
 				return false
 			}
+			ec.noteWhere(ok)
 			if !ok {
 				return true
 			}
@@ -94,7 +102,9 @@ func (p *Plan) Eval(g *oem.Graph) (*Result, error) {
 					return false
 				}
 				label := item.EdgeLabel()
-				for _, src := range evalNFA(g, p.sel[i], starts, sc) {
+				emitted := evalNFA(g, p.sel[i], starts, sc)
+				ec.noteSelect(i, len(emitted), len(sc.queue))
+				for _, src := range emitted {
 					k := edgeKey{label: label, src: src}
 					if added[k] {
 						continue // duplicate elimination by oid
@@ -125,7 +135,9 @@ func (p *Plan) Eval(g *oem.Graph) (*Result, error) {
 			return false
 		}
 		name := f.BindName()
-		for _, oid := range evalNFA(g, p.from[level], starts, sc) {
+		matched := evalNFA(g, p.from[level], starts, sc)
+		ec.noteFrom(level, len(matched), len(sc.queue))
+		for _, oid := range matched {
 			ev.env[name] = oid
 			if !recur(level + 1) {
 				return false

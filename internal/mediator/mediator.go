@@ -23,6 +23,7 @@ import (
 	"repro/internal/oem"
 	"repro/internal/qcache"
 	"repro/internal/snapstore"
+	"repro/internal/stats"
 	"repro/internal/wrapper"
 )
 
@@ -34,6 +35,13 @@ type Options struct {
 	// DisablePushdown turns off per-source predicate pre-filtering and
 	// semi-join link fetching.
 	DisablePushdown bool
+	// CostPushdown replaces the always-push heuristic with the
+	// stats-estimated cost gate for pushdown-sound conjuncts: a predicate
+	// whose observed selectivity says pushing filters almost nothing is
+	// evaluated only at the final stage. Soundness classification is
+	// unchanged — the flag only flips which gate decides among sound
+	// conjuncts. Explain reports both decisions either way.
+	CostPushdown bool
 	// DisablePruning makes every mapped source participate in every query
 	// even when its concept cannot contribute.
 	DisablePruning bool
@@ -316,6 +324,16 @@ type Manager struct {
 	// a source coming back invalidates every answer computed without it.
 	health *health.Tracker
 
+	// srcStats is the per-source statistics table (entity counts, label
+	// cardinalities, fetch-latency EWMA, observed pushdown selectivity) —
+	// the measured ground the cost-based pushdown gate stands on. Fed at
+	// fetch/fuse/refresh time; read by Explain, /statsz and the metrics
+	// collector. Always non-nil (the table itself is also nil-inert).
+	srcStats *stats.Table
+
+	// explains counts Explain/ExplainAnalyze calls served.
+	explains atomic.Int64
+
 	// hub is the live change-feed hub (nil with DisableCache — no epochs,
 	// nothing to notify about); RefreshSource publishes into it under
 	// epochMu so feed order matches epoch publication order. standingQs
@@ -329,6 +347,8 @@ type Manager struct {
 	// instrumented sites stay unconditional.
 	o            *obs.Obs
 	opQueryDur   *obs.Histogram
+	opExplainDur *obs.Histogram
+	opExplainErr *obs.Counter
 	opBatchDur   *obs.Histogram
 	opRefreshDur *obs.Histogram
 	opCkptDur    *obs.Histogram
@@ -361,6 +381,7 @@ func New(reg *wrapper.Registry, gl *gml.Global, opts Options) *Manager {
 	}
 	m := &Manager{reg: reg, gl: gl, opts: opts}
 	m.health = health.NewTracker(opts.Health)
+	m.srcStats = stats.New()
 	if !opts.DisableCache {
 		m.cache = qcache.New(opts.CacheSize, opts.CacheTTL)
 		m.plans = qcache.New(opts.CacheSize, 0) // plans never age out
@@ -386,6 +407,21 @@ func (m *Manager) CacheCounters() (qcache.Counters, bool) {
 		return qcache.Counters{}, false
 	}
 	return m.cache.Counters(), true
+}
+
+// PlanCacheCounters snapshots the compiled-plan cache's cumulative
+// counters; ok is false when caching is disabled (every query then
+// compiles its own plan).
+func (m *Manager) PlanCacheCounters() (qcache.Counters, bool) {
+	if m.plans == nil {
+		return qcache.Counters{}, false
+	}
+	return m.plans.Counters(), true
+}
+
+// SourceStats snapshots the per-source statistics table (sorted by source).
+func (m *Manager) SourceStats() []stats.SourceStats {
+	return m.srcStats.Snapshot()
 }
 
 // sourceFingerprint hashes the registered source names and their model
@@ -633,7 +669,7 @@ func (m *Manager) queryCompute(q *lorel.Query, canon string, an *analysis, tr *o
 		}
 		m.snapshotMisses.Add(1)
 	}
-	return m.execute(q, canon, an, tr)
+	return m.execute(q, canon, an, tr, nil)
 }
 
 // snapshot is one published fused-snapshot epoch. Everything it references
@@ -750,7 +786,9 @@ func (m *Manager) publishLocked(s *snapshot) {
 }
 
 // execute runs the full pipeline for one analyzed query: fetch, fuse, eval.
-func (m *Manager) execute(q *lorel.Query, canon string, an *analysis, tr *obs.Trace) (*lorel.Result, *Stats, error) {
+// ec, when non-nil, accumulates the evaluation's per-stage cardinalities
+// (ExplainAnalyze); the query path passes nil.
+func (m *Manager) execute(q *lorel.Query, canon string, an *analysis, tr *obs.Trace, ec *lorel.EvalCounts) (*lorel.Result, *Stats, error) {
 	stats := &Stats{Fetched: map[string]int{}, Kept: map[string]int{}, Parallel: !m.opts.Sequential}
 
 	t0 := obs.Now()
@@ -774,7 +812,7 @@ func (m *Manager) execute(q *lorel.Query, canon string, an *analysis, tr *obs.Tr
 		return nil, nil, err
 	}
 	t2 := obs.Now()
-	res, err := plan.Eval(fused)
+	res, err := plan.EvalCounted(fused, ec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -798,39 +836,48 @@ func (m *Manager) execute(q *lorel.Query, canon string, an *analysis, tr *obs.Tr
 //     unobservable unless a root-based path can reach that concept's
 //     root-level edges.
 func (m *Manager) snapshotSafe(an *analysis, q *lorel.Query) bool {
+	safe, _ := m.snapshotPathDecision(an, q)
+	return safe
+}
+
+// snapshotPathDecision is snapshotSafe with its reasoning attached: reason
+// explains why the query is (or is not) answerable eval-only against the
+// shared snapshot. snapshotSafe and Explain both call it, so the report can
+// never diverge from the routing decision.
+func (m *Manager) snapshotPathDecision(an *analysis, q *lorel.Query) (safe bool, reason string) {
 	if len(an.pushdown) != 0 {
-		return false
+		return false, "pushdown predicates filter entities the snapshot retains"
 	}
 	if !an.needAll && !m.opts.DisablePruning {
 		for _, w := range m.reg.All() {
 			mp := m.gl.MappingFor(w.Name())
 			if mp != nil && !an.needs(mp.Concept) {
-				return false // this query would prune w; the snapshot keeps it
+				return false, fmt.Sprintf("query prunes source %s; the snapshot includes its entities", w.Name())
 			}
 		}
 	}
 	if an.needAll || m.opts.DisablePushdown {
 		// Nothing is pruned, filtered, or semi-join-skipped: the per-query
 		// fused graph IS the snapshot.
-		return true
+		return true, "query touches every source; the per-query fused graph is the snapshot"
 	}
 	for _, p := range collectPaths(q) {
 		if !strings.EqualFold(p.Base, "ANNODA-GML") {
 			continue
 		}
 		if len(p.Steps) == 0 {
-			return false // binds the root itself; imports every root edge
+			return false, "query binds the ANNODA-GML root itself; every root edge is observable"
 		}
 		l, ok := p.Steps[0].(lorel.LabelStep)
 		if !ok {
-			return false
+			return false, fmt.Sprintf("root path %s starts with a non-label step; its reach is unbounded", p.String())
 		}
 		c := conceptNames[strings.ToLower(l.Name)]
 		if c != "" && c != "Gene" && !conceptQueriedDirectly(an, c) {
-			return false // could observe this concept's unlinked entities
+			return false, fmt.Sprintf("path %s could observe unlinked %s entities the per-query graph skips", p.String(), c)
 		}
 	}
-	return true
+	return true, "no pushdown, no pruning, no semi-join skip is observable"
 }
 
 // FusedGraph returns the full integrated graph (every concept, no
@@ -893,6 +940,13 @@ func (m *Manager) buildFuseState() (*fuseState, *Stats, error) {
 		return nil, nil, err
 	}
 	stats.FetchTime = obs.Since(t0)
+	// A snapshot build fetches every source in full (needAll, no pushdown):
+	// the one place the whole population is in hand, so refresh the
+	// statistics table's entity counts and per-label cardinalities here.
+	for _, p := range pops {
+		m.srcStats.SetEntities(p.source, p.fetchedCount)
+		m.srcStats.SetLabels(p.source, labelCardinalities(p))
+	}
 	t1 := obs.Now()
 	rec := &fuseState{}
 	if _, err := m.fuseInto(an, pops, stats, rec); err != nil {
@@ -900,6 +954,28 @@ func (m *Manager) buildFuseState() (*fuseState, *Stats, error) {
 	}
 	stats.FuseTime = obs.Since(t1)
 	return rec, stats, nil
+}
+
+// labelCardinalities counts, per label, how many of the population's
+// entities carry at least one edge with that label — the per-source label
+// cardinality statistic a cost model estimates exists-predicates with.
+func labelCardinalities(p *population) map[string]int {
+	out := make(map[string]int)
+	seen := make(map[string]bool)
+	for _, e := range p.entities {
+		obj := p.graph.Get(e)
+		if obj == nil || !obj.IsComplex() {
+			continue
+		}
+		clear(seen)
+		for _, r := range obj.Refs {
+			if !seen[r.Label] {
+				seen[r.Label] = true
+				out[r.Label]++
+			}
+		}
+	}
+	return out
 }
 
 // fusedGraphUncached is the DisableCache variant: same pipeline, no
@@ -1031,35 +1107,81 @@ func (m *Manager) analyze(q *lorel.Query) (*analysis, error) {
 	}
 	// Pushdown classification. Sound only under PolicyPreferPrimary and
 	// only for non-optional attribute labels (see DESIGN.md); the final
-	// evaluation re-applies the full where clause regardless.
+	// evaluation re-applies the full where clause regardless. With
+	// CostPushdown, the stats-estimated cost gate additionally decides
+	// among the sound conjuncts.
 	if !m.opts.DisablePushdown && m.opts.Policy == PolicyPreferPrimary {
 		for _, conj := range conjuncts(q.Where) {
-			ps := condPaths(conj)
-			var onVar string
-			ok := len(ps) > 0
-			for _, p := range ps {
-				concept := an.fromConcepts[p.Base]
-				if concept == "" {
-					ok = false
-					break
-				}
-				if onVar == "" {
-					onVar = p.Base
-				} else if onVar != p.Base {
-					ok = false
-					break
-				}
-				if !pushableSteps(m.gl, concept, p.Steps) {
-					ok = false
-					break
+			onVar, reason := an.classifyConjunct(m.gl, conj)
+			if reason != "" {
+				continue
+			}
+			if m.opts.CostPushdown {
+				if push, _ := m.costWouldPush(an.fromConcepts[onVar], lorel.CondString(conj)); !push {
+					continue
 				}
 			}
-			if ok && onVar != "" {
-				an.pushdown[onVar] = append(an.pushdown[onVar], conj)
-			}
+			an.pushdown[onVar] = append(an.pushdown[onVar], conj)
 		}
 	}
 	return an, nil
+}
+
+// classifyConjunct decides whether one where-clause conjunct is sound to
+// evaluate at a source, returning the single from-variable it constrains
+// and, when not pushable, the reason. analyze and Explain both go through
+// it, so the reported reason can never diverge from the planning decision.
+func (an *analysis) classifyConjunct(gl *gml.Global, conj lorel.Cond) (onVar, reason string) {
+	ps := condPaths(conj)
+	if len(ps) == 0 {
+		return "", "no path operands to evaluate at a source"
+	}
+	for _, p := range ps {
+		concept := an.fromConcepts[p.Base]
+		if concept == "" {
+			return "", fmt.Sprintf("operand base %q is not a simple ANNODA-GML concept binding", p.Base)
+		}
+		if onVar == "" {
+			onVar = p.Base
+		} else if onVar != p.Base {
+			return "", fmt.Sprintf("conjunct spans variables %s and %s (a join cannot run at one source)", onVar, p.Base)
+		}
+		if !pushableSteps(gl, concept, p.Steps) {
+			return "", fmt.Sprintf("path %s is not a single non-optional atomic attribute of %s", p.String(), concept)
+		}
+	}
+	return onVar, ""
+}
+
+// costPushdownMaxSelectivity is the cost gate's threshold: a predicate
+// observed to keep more than this fraction of what a source fetches filters
+// too little for pre-filtering to pay for itself.
+const costPushdownMaxSelectivity = 0.95
+
+// costWouldPush is the stats-estimated cost model's verdict for one sound
+// conjunct: push unless the observed selectivity at every mapped source of
+// the concept says the predicate keeps nearly everything. An unobserved
+// shape defaults to pushing — the same answer the heuristic gives — so the
+// cost gate only ever diverges on measured ground.
+func (m *Manager) costWouldPush(concept, shape string) (push bool, reason string) {
+	worst := -1.0
+	worstSrc := ""
+	for _, w := range m.reg.All() {
+		mp := m.gl.MappingFor(w.Name())
+		if mp == nil || mp.Concept != concept {
+			continue
+		}
+		if sel, ok := m.srcStats.Selectivity(w.Name(), shape); ok && sel > worst {
+			worst, worstSrc = sel, w.Name()
+		}
+	}
+	if worst < 0 {
+		return true, "no observed selectivity for this shape; defaulting to push"
+	}
+	if worst > costPushdownMaxSelectivity {
+		return false, fmt.Sprintf("observed selectivity %.3f at %s keeps nearly everything; pushing buys no reduction", worst, worstSrc)
+	}
+	return true, fmt.Sprintf("observed selectivity %.3f at %s; pushing reduces the fused population", worst, worstSrc)
 }
 
 func noteConcept(an *analysis, c string) {
@@ -1192,12 +1314,15 @@ func (m *Manager) fetch(an *analysis, stats *Stats, hashed bool, tr *obs.Trace) 
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		var t0 time.Time
-		if tr != nil {
-			t0 = obs.Now()
-		}
+		// Timed unconditionally (not just under tracing): the duration
+		// feeds the statistics table's fetch-latency EWMA, and one clock
+		// pair per source fetch is noise next to the fetch itself.
+		t0 := obs.Now()
 		conds := condsFor[j.mapping.Concept]
 		pop, fetched, err := m.fetchOne(j.w, j.mapping, conds, hashed, tr)
+		if err == nil {
+			m.srcStats.ObserveFetch(j.w.Name(), obs.Since(t0))
+		}
 		if tr != nil {
 			stage := obs.StageFetch
 			if len(conds) > 0 {
@@ -1318,10 +1443,16 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 		return nil, 0, err
 	}
 	// Compile each pushed-down predicate once per source, not once per
-	// entity; the per-entity loop below only evaluates.
+	// entity; the per-entity loop below only evaluates. evals/passes feed
+	// the statistics table: passes/evals is the predicate's observed
+	// selectivity at this source (conditional on earlier predicates in the
+	// chain, since a rejected entity skips the rest).
 	type compiledPush struct {
-		v    string
-		plan *lorel.CondPlan
+		v      string
+		shape  string
+		plan   *lorel.CondPlan
+		evals  int
+		passes int
 	}
 	var plans []compiledPush
 	for _, pc := range conds {
@@ -1329,7 +1460,7 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 		if err != nil {
 			return nil, 0, err
 		}
-		plans = append(plans, compiledPush{v: pc.v, plan: cp})
+		plans = append(plans, compiledPush{v: pc.v, shape: lorel.CondString(pc.c), plan: cp})
 	}
 	pop := &population{source: w.Name(), concept: mp.Concept, graph: oem.NewGraph()}
 	root := src.Root(w.Name())
@@ -1342,7 +1473,8 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 			return nil, 0, err
 		}
 		keep := true
-		for _, pc := range plans {
+		for pi := range plans {
+			pc := &plans[pi]
 			clear(env)
 			env[pc.v] = te
 			ok, err := pc.plan.Eval(pop.graph, env)
@@ -1353,7 +1485,10 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 				pop.fallbacks++
 				ok = true
 			}
-			if !ok {
+			pc.evals++
+			if ok {
+				pc.passes++
+			} else {
 				keep = false
 				break
 			}
@@ -1364,6 +1499,9 @@ func (m *Manager) fetchOne(w wrapper.Wrapper, mp *gml.SourceMapping, conds []pus
 				pop.hashes = append(pop.hashes, delta.HashEntity(src, e))
 			}
 		}
+	}
+	for _, pc := range plans {
+		m.srcStats.ObservePushdown(w.Name(), pc.shape, pc.evals, pc.passes)
 	}
 	return pop, fetched, nil
 }

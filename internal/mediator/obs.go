@@ -25,6 +25,8 @@ func (m *Manager) initObs(o *obs.Obs) {
 	}
 	m.o = o
 	m.opQueryDur = o.M.OpDur.With("query")
+	m.opExplainDur = o.M.OpDur.With("explain")
+	m.opExplainErr = o.M.OpErr.With("explain")
 	m.opBatchDur = o.M.OpDur.With("batch")
 	m.opRefreshDur = o.M.OpDur.With("refresh")
 	m.opCkptDur = o.M.OpDur.With("checkpoint")
@@ -59,6 +61,15 @@ func (m *Manager) initObs(o *obs.Obs) {
 	feedDropped := reg.Counter("annoda_feed_events_dropped_total", "Change-feed events dropped to subscriber overflow.")
 	feedOverflows := reg.Counter("annoda_feed_overflows_total", "Subscriber buffer overflows (loss markers sent).")
 	feedSubs := reg.Gauge("annoda_feed_subscribers", "Live change-feed subscribers.")
+	planHits := reg.Counter("annoda_plan_cache_hits_total", "Compiled-plan cache hits.")
+	planMisses := reg.Counter("annoda_plan_cache_misses_total", "Compiled-plan cache misses (plan compiles run).")
+	planShared := reg.Counter("annoda_plan_cache_shared_total", "Plan lookups that joined an in-flight compile (singleflight).")
+	planEntries := reg.Gauge("annoda_plan_cache_entries", "Compiled plans resident in the plan cache.")
+	planExplains := reg.Counter("annoda_plan_explains_total", "Explain/ExplainAnalyze requests served.")
+	srcEntities := reg.GaugeVec("annoda_source_entities", "Source population at the last refresh or snapshot build, by source.", "source")
+	srcLabelEnts := reg.GaugeVec("annoda_source_label_entities", "Entities carrying a label at the last snapshot build, by source and label.", "source", "label")
+	srcFetchEWMA := reg.GaugeVec("annoda_source_fetch_ewma_micros", "Smoothed (EWMA) per-source fetch latency in microseconds.", "source")
+	srcSelectivity := reg.GaugeVec("annoda_source_pushdown_selectivity_ppm", "Observed pushdown selectivity (kept/fetched, parts per million) aggregated over predicate shapes, by source.", "source")
 	srcHealth := reg.GaugeVec("annoda_source_health", "Per-source breaker state: 0 healthy, 1 degraded, 2 down.", "source")
 	srcFailures := reg.CounterVec("annoda_source_failures_total", "Final (post-retry) per-source fetch failures.", "source")
 	srcRetries := reg.CounterVec("annoda_source_fetch_retries_total", "In-fetch retry attempts, by source.", "source")
@@ -93,6 +104,28 @@ func (m *Manager) initObs(o *obs.Obs) {
 		if s, ok := m.SnapshotCounters(); ok {
 			snapHits.Set(uint64(s.Hits))
 			snapMisses.Set(uint64(s.Misses))
+		}
+		if c, ok := m.PlanCacheCounters(); ok {
+			planHits.Set(uint64(c.Hits))
+			planMisses.Set(uint64(c.Misses))
+			planShared.Set(uint64(c.Shared))
+			planEntries.Set(int64(c.Entries))
+		}
+		planExplains.Set(uint64(m.explains.Load()))
+		for _, ss := range m.SourceStats() {
+			srcEntities.With(ss.Source).Set(int64(ss.Entities))
+			srcFetchEWMA.With(ss.Source).Set(ss.FetchEWMAMicros)
+			for label, n := range ss.Labels {
+				srcLabelEnts.With(ss.Source, label).Set(int64(n))
+			}
+			var fetched, kept int64
+			for _, p := range ss.Predicates {
+				fetched += p.Fetched
+				kept += p.Kept
+			}
+			if fetched > 0 {
+				srcSelectivity.With(ss.Source).Set(kept * 1_000_000 / fetched)
+			}
 		}
 		d := m.DeltaCounters()
 		epochsPub.Set(uint64(d.EpochsPublished))

@@ -1013,6 +1013,10 @@ func (m *Manager) refreshSource(name string, tr *obs.Trace) (*RefreshResult, err
 		}
 	}
 	rr.Upserted, rr.Deleted, rr.Total = len(cs.Upserted), len(cs.Deleted), cs.Total
+	// Delta time is the one place the source's post-refresh population is
+	// known without refetching; keep the statistics table's entity count
+	// current even when the structural patch below bails out.
+	m.srcStats.SetEntities(name, cs.Total)
 
 	maxFrac := m.opts.MaxDeltaFraction
 	if maxFrac <= 0 {

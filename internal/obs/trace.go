@@ -4,7 +4,9 @@ import (
 	"context"
 	crand "crypto/rand"
 	"encoding/hex"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,10 +151,37 @@ func (t *Trace) Finish() {
 			tr.m.TraceSlow.Inc()
 		}
 		if tr.logf != nil {
-			tr.logf("slow op: id=%s op=%s dur=%s detail=%q err=%q",
-				t.id, t.op, d, t.detail, t.err)
+			tr.logf("slow op: id=%s op=%s dur=%s detail=%q err=%q stages=%s",
+				t.id, t.op, d, t.detail, t.err, topStages(spans))
 		}
 	}
+}
+
+// topStages renders the slowest spans of a finished trace for the
+// slow-query log — "[eval=12ms fetch=3ms fuse=1ms]" — so the log line
+// itself says where the time went without a trip to /api/debug/traces.
+// At most three stages are listed, slowest first.
+func topStages(spans []Span) string {
+	if len(spans) == 0 {
+		return "[]"
+	}
+	top := append([]Span(nil), spans...)
+	sort.Slice(top, func(i, j int) bool { return top[i].Duration > top[j].Duration })
+	if len(top) > 3 {
+		top = top[:3]
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, s := range top {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(s.Stage)
+		sb.WriteByte('=')
+		sb.WriteString(s.Duration.Round(time.Microsecond).String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 // ring is a lock-free fixed-capacity ring of finished traces: writers
